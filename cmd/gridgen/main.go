@@ -1,0 +1,85 @@
+// Command gridgen emits test systems in the paper's text input format:
+// either a registry case (paper5, ieee14, synth30, synth57, synth118) or a
+// freshly generated synthetic system with the requested dimensions.
+//
+// Usage:
+//
+//	gridgen -case ieee14 > ieee14.txt
+//	gridgen -buses 40 -lines 55 -gens 8 -seed 9 -target 2 > synth40.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gridattack"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gridgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gridgen", flag.ContinueOnError)
+	var (
+		caseName = fs.String("case", "", "emit a registry case (paper5, ieee14, synth30, synth57, synth118)")
+		buses    = fs.Int("buses", 0, "synthetic: number of buses")
+		lines    = fs.Int("lines", 0, "synthetic: number of lines (>= buses)")
+		gens     = fs.Int("gens", 0, "synthetic: number of generators")
+		seed     = fs.Int64("seed", 1, "synthetic: generation seed")
+		measLim  = fs.Int("max-measurements", 12, "attacker measurement budget written to the file")
+		busLim   = fs.Int("max-buses", 3, "attacker substation budget written to the file")
+		target   = fs.Float64("target", 2, "minimum cost increase (%) written to the file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *gridattack.Grid
+	var plan *gridattack.Plan
+	switch {
+	case *caseName != "":
+		c, err := gridattack.CaseByName(*caseName)
+		if err != nil {
+			return err
+		}
+		g, plan = c.Grid, c.Plan
+	case *buses > 0:
+		var err error
+		g, err = gridattack.Synthetic(gridattack.SynthConfig{
+			Name:       fmt.Sprintf("synth%d", *buses),
+			Buses:      *buses,
+			Lines:      *lines,
+			Generators: *gens,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return err
+		}
+		plan = gridattack.FullPlan(g.NumLines(), g.NumBuses())
+	default:
+		return fmt.Errorf("pass -case or -buses/-lines/-gens")
+	}
+
+	base, err := gridattack.SolveOPF(g, g.TrueTopology(), nil)
+	if err != nil {
+		return fmt.Errorf("baseline OPF: %w", err)
+	}
+	in := &gridattack.Input{
+		Grid: g,
+		Plan: plan,
+		Capability: gridattack.Capability{
+			MaxMeasurements:       *measLim,
+			MaxBuses:              *busLim,
+			RequireTopologyChange: true,
+		},
+		CostConstraint:     base.Cost * 1.05,
+		MinIncreasePercent: *target,
+	}
+	return gridattack.WriteInput(stdout, in)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridattack"
+)
+
+func TestGenRegistryCase(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case", "ieee14"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	in, err := gridattack.ParseInput(&out)
+	if err != nil {
+		t.Fatalf("output does not parse back: %v", err)
+	}
+	if in.Grid.NumBuses() != 14 || in.Grid.NumLines() != 20 {
+		t.Errorf("dims wrong: %d/%d", in.Grid.NumBuses(), in.Grid.NumLines())
+	}
+}
+
+func TestGenSynthetic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-buses", "12", "-lines", "16", "-gens", "3", "-seed", "4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	in, err := gridattack.ParseInput(&out)
+	if err != nil {
+		t.Fatalf("output does not parse back: %v", err)
+	}
+	if in.Grid.NumBuses() != 12 || len(in.Grid.Generators) != 3 {
+		t.Errorf("dims wrong: %+v", in.Grid)
+	}
+	if !strings.Contains(out.String(), "") {
+		t.Error("unreachable")
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("want error without -case or -buses")
+	}
+	if err := run([]string{"-case", "nope"}, &out); err == nil {
+		t.Error("want error for unknown case")
+	}
+	if err := run([]string{"-buses", "5", "-lines", "2", "-gens", "1"}, &out); err == nil {
+		t.Error("want error for too few lines")
+	}
+}

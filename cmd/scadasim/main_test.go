@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHonestSimulation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mapped topology: 7 lines (true: 7)") {
+		t.Errorf("honest run should map all lines:\n%s", s)
+	}
+	if !strings.Contains(s, "bad data: false") {
+		t.Errorf("honest run should pass BDD:\n%s", s)
+	}
+}
+
+func TestAttackedSimulation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-attack"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mapped topology: 6 lines (true: 7)") {
+		t.Errorf("attack should unmap one line:\n%s", s)
+	}
+	if !strings.Contains(s, "bad data: false") {
+		t.Errorf("attack must remain stealthy:\n%s", s)
+	}
+	if !strings.Contains(s, "compromised") {
+		t.Errorf("output should list compromised substations:\n%s", s)
+	}
+}
+
+func TestAttackedWithStates(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-attack", "-states"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "bad data: false") {
+		t.Errorf("with-states attack must remain stealthy:\n%s", out.String())
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: reproduce the paper's Case Study 1 with the public API.
+//
+// The attacker can tamper with a handful of measurements at no more than
+// three substations and wants to raise the generation cost by at least 3%
+// without tripping bad-data detection. The framework finds the stealthy
+// exclusion of line 6 together with the exact measurement alterations that
+// keep it invisible.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridattack"
+)
+
+func main() {
+	g := gridattack.Paper5Bus()
+
+	analyzer := &gridattack.Analyzer{
+		Grid: g,
+		Plan: gridattack.Paper5PlanCase1(),
+		Capability: gridattack.Capability{
+			MaxMeasurements:       8, // T_M: at most 8 measurements altered
+			MaxBuses:              3, // T_B: spread over at most 3 substations
+			RequireTopologyChange: true,
+		},
+		TargetIncreasePercent: 3,
+		OperatingDispatch:     gridattack.Paper5OperatingDispatch(),
+	}
+
+	rep, err := analyzer.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("attack-free optimal cost: $%.2f\n", rep.BaselineCost)
+	fmt.Printf("attacker's threshold:     $%.2f (+%.0f%%)\n", rep.Threshold, analyzer.TargetIncreasePercent)
+	if !rep.Found {
+		fmt.Println("no stealthy attack reaches the target — the grid is safe in this scenario")
+		return
+	}
+	v := rep.Vector
+	fmt.Printf("\nstealthy attack found after examining %d vector(s):\n", rep.Iterations)
+	fmt.Printf("  exclude line(s)      %v from the operator's topology\n", v.ExcludedLines)
+	fmt.Printf("  alter measurements   %v\n", v.AlteredMeasurements)
+	fmt.Printf("  compromise buses     %v\n", v.CompromisedBuses)
+	fmt.Printf("  operator's OPF cost  $%.2f (+%.2f%%)\n",
+		rep.AttackedCost, 100*(rep.AttackedCost-rep.BaselineCost)/rep.BaselineCost)
+
+	// Double-check stealthiness against the real estimator.
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), analyzer.OperatingDispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, err := gridattack.BuildAttackedMeasurements(g, analyzer.Plan, pf, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := gridattack.NewEstimator(g, analyzer.Plan)
+	est.Threshold = 1e-6
+	res, err := est.Estimate(v.MappedTopology, z)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplay against WLS estimation: residual %.2e, bad data detected: %v\n",
+		res.Residual, res.BadData)
+}

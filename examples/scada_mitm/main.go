@@ -1,0 +1,115 @@
+// SCADA MITM: run the whole attack over a live TCP SCADA deployment.
+//
+// One RTU per substation serves telemetry; the control center polls them,
+// runs the EMS pipeline (topology processor -> state estimation -> OPF), and
+// dispatches generation. The attacker interposes a man-in-the-middle proxy
+// on exactly the substations the attack vector requires and rewrites
+// telemetry in flight. The estimator sees a clean residual while the
+// operator's dispatch cost silently rises.
+//
+// Run with: go run ./examples/scada_mitm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridattack"
+)
+
+func main() {
+	g := gridattack.Paper5Bus()
+	plan := gridattack.Paper5PlanCase1()
+	dispatch := gridattack.Paper5OperatingDispatch()
+
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The attacker plans the stealthy vector offline.
+	model, err := gridattack.NewAttackModel(g, plan, gridattack.Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vector, err := model.FindVector()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if vector == nil {
+		log.Fatal("no stealthy vector exists in this scenario")
+	}
+	fmt.Println("attack plan:", vector)
+
+	compromised := make(map[int]bool)
+	for _, bus := range vector.CompromisedBuses {
+		compromised[bus] = true
+	}
+
+	// Bring up the fleet: honest RTUs everywhere, MITM in front of the
+	// compromised substations.
+	center := gridattack.NewSCADACenter(g, plan)
+	type closer interface{ Close() error }
+	var closers []closer
+	defer func() {
+		for _, c := range closers {
+			_ = c.Close()
+		}
+	}()
+	for bus := 1; bus <= g.NumBuses(); bus++ {
+		rtu := gridattack.NewRTU(g, plan, bus)
+		rtu.UpdateFromVector(z)
+		addr, err := rtu.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		closers = append(closers, rtu)
+		if compromised[bus] {
+			proxy := gridattack.NewMITM(g, plan, addr)
+			proxy.SetVector(vector)
+			if addr, err = proxy.Listen("127.0.0.1:0"); err != nil {
+				log.Fatal(err)
+			}
+			closers = append(closers, proxy)
+			fmt.Printf("  MITM on substation %d at %s\n", bus, addr)
+		}
+		center.Register(bus, addr)
+	}
+
+	// The operator runs an EMS cycle over the (poisoned) wire.
+	collected, report, err := center.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline := gridattack.NewEMSPipeline(g, plan)
+	pipeline.ResidualThreshold = 1e-6
+	cycle, err := pipeline.RunCycle(collected, report, dispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	honest, err := gridattack.SolveOPF(g, g.TrueTopology(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noperator's view after collection:\n")
+	fmt.Printf("  mapped topology: %d of %d lines (line 6 silently unmapped: %v)\n",
+		cycle.Topology.Size(), g.NumLines(), !cycle.Topology.Contains(6))
+	fmt.Printf("  SE residual: %.2e — bad-data alarm: %v\n", cycle.Estimate.Residual, cycle.Estimate.BadData)
+	fmt.Printf("  OPF dispatch cost: $%.2f (true optimum $%.2f, +%.2f%%)\n",
+		cycle.Dispatch.Cost, honest.Cost, 100*(cycle.Dispatch.Cost-honest.Cost)/honest.Cost)
+
+	agc := gridattack.NewAGC(g)
+	traj, err := agc.Trajectory(dispatch, cycle.Dispatch.Dispatch, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  AGC ramps the machines in %d steps; the utility now pays $%.2f per hour\n",
+		len(traj)-1, pipeline.TrueCost(traj[len(traj)-1]))
+}

@@ -1,0 +1,70 @@
+// Statepoison: reproduce the paper's Case Study 2 — a topology poisoning
+// attack strengthened by UFDI state infection — and chart how much stronger
+// the combination is compared to either technique alone.
+//
+// Run with: go run ./examples/statepoison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridattack"
+)
+
+func main() {
+	g := gridattack.Paper5Bus()
+	base := gridattack.Analyzer{
+		Grid:              g,
+		Plan:              gridattack.Paper5PlanCase2(),
+		OperatingDispatch: gridattack.Paper5OperatingDispatch(),
+		Capability: gridattack.Capability{
+			MaxMeasurements:       12,
+			MaxBuses:              3,
+			RequireTopologyChange: true,
+		},
+	}
+
+	// Case Study 2: at least 6% more expensive generation.
+	cs2 := base
+	cs2.Capability.States = true
+	cs2.TargetIncreasePercent = 6
+	rep, err := cs2.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack-free optimum: $%.2f\n", rep.BaselineCost)
+	if rep.Found {
+		v := rep.Vector
+		fmt.Printf("topology+state attack: exclude %v, infect state(s) %v\n", v.ExcludedLines, v.InfectedStates)
+		fmt.Printf("  alter measurements %v at buses %v\n", v.AlteredMeasurements, v.CompromisedBuses)
+		fmt.Printf("  operator's loads become:")
+		for _, ld := range g.Loads {
+			fmt.Printf(" bus%d %.3f->%.3f", ld.Bus, ld.P, v.ObservedLoads[ld.Bus-1])
+		}
+		fmt.Printf("\n  OPF cost: $%.2f (+%.2f%%)\n",
+			rep.AttackedCost, 100*(rep.AttackedCost-rep.BaselineCost)/rep.BaselineCost)
+	} else {
+		fmt.Println("no attack reaches 6% in this scenario")
+	}
+
+	// The paper's comparison: how far can each attack class push the cost?
+	topoOnly := base
+	topoOnly.Capability.States = false
+	maxTopo, err := gridattack.MaxAchievableIncrease(topoOnly, 0.5, 20, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withStates := base
+	withStates.Capability.States = true
+	maxBoth, err := gridattack.MaxAchievableIncrease(withStates, 0.5, 20, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmaximum achievable cost increase:\n")
+	fmt.Printf("  topology poisoning alone:     %4.1f%%\n", maxTopo)
+	fmt.Printf("  topology + state infection:   %4.1f%%\n", maxBoth)
+	fmt.Println("\n(the paper reports the same ordering: state infection strengthens")
+	fmt.Println(" topology attacks, but the achievable impact stays bounded — here, like")
+	fmt.Println(" in the paper, under ~9%)")
+}

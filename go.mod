@@ -1,0 +1,3 @@
+module gridattack
+
+go 1.22

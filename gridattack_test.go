@@ -1,0 +1,177 @@
+package gridattack_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gridattack"
+)
+
+// TestPublicAPICaseStudy1 exercises the full public surface the README
+// quickstart uses.
+func TestPublicAPICaseStudy1(t *testing.T) {
+	g := gridattack.Paper5Bus()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := &gridattack.Analyzer{
+		Grid:                  g,
+		Plan:                  gridattack.Paper5PlanCase1(),
+		Capability:            gridattack.Capability{MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true},
+		TargetIncreasePercent: 3,
+		OperatingDispatch:     gridattack.Paper5OperatingDispatch(),
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Found || len(rep.Vector.ExcludedLines) != 1 || rep.Vector.ExcludedLines[0] != 6 {
+		t.Fatalf("unexpected report: found=%v vector=%v", rep.Found, rep.Vector)
+	}
+}
+
+func TestPublicAPIOPFAndFactors(t *testing.T) {
+	g := gridattack.IEEE14Bus()
+	top := g.TrueTopology()
+	sol, err := gridattack.SolveOPF(g, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := gridattack.NewFactors(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift, err := gridattack.SolveOPFShift(g, fac, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Cost-shift.Cost) > 1e-4*sol.Cost {
+		t.Errorf("LP cost %v != shift cost %v", sol.Cost, shift.Cost)
+	}
+	ok, _, err := gridattack.OPFFeasibleWithin(g, top, nil, sol.Cost*1.01)
+	if err != nil || !ok {
+		t.Errorf("OPFFeasibleWithin = %v, %v; want true", ok, err)
+	}
+	if _, err := gridattack.LCDF(g, top.WithExcluded(6), 1, 6); err != nil {
+		t.Errorf("LCDF: %v", err)
+	}
+}
+
+func TestPublicAPISMT(t *testing.T) {
+	s := gridattack.NewSMTSolver()
+	p := s.NewBool("p")
+	x := s.NewReal("x")
+	s.Assert(gridattack.ImpliesF(gridattack.BoolF(p),
+		gridattack.AtomF(gridattack.NewLinExpr().AddInt(1, x), gridattack.OpGE, 5)))
+	s.Assert(gridattack.BoolF(p))
+	res, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != "sat" {
+		t.Fatalf("res = %v, want sat", res)
+	}
+	if v := s.RealValueFloat(x); v < 5 {
+		t.Errorf("x = %v, want >= 5", v)
+	}
+	s.Assert(gridattack.AtomF(gridattack.NewLinExpr().AddInt(1, x), gridattack.OpLT, 5))
+	res, err = s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != "unsat" {
+		t.Fatalf("res = %v, want unsat", res)
+	}
+}
+
+func TestPublicAPITextIO(t *testing.T) {
+	in := &gridattack.Input{
+		Grid:               gridattack.Paper5Bus(),
+		Plan:               gridattack.Paper5PlanCase2(),
+		Capability:         gridattack.Capability{MaxMeasurements: 12, MaxBuses: 3, RequireTopologyChange: true},
+		CostConstraint:     1580,
+		MinIncreasePercent: 6,
+	}
+	var buf bytes.Buffer
+	if err := gridattack.WriteInput(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gridattack.ParseInput(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid.NumBuses() != 5 || back.MinIncreasePercent != 6 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	var out bytes.Buffer
+	if err := gridattack.WriteResult(&out, back, false, nil, 1373.57, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unsat") {
+		t.Error("result output missing verdict")
+	}
+}
+
+func TestPublicAPIEMSAndSE(t *testing.T) {
+	g := gridattack.Paper5Bus()
+	plan := gridattack.Paper5PlanCase1()
+	dispatch := gridattack.Paper5OperatingDispatch()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := gridattack.NewEMSPipeline(g, plan)
+	cycle, err := pipeline.RunCycle(z, gridattack.TrueStatusReport(g), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle.Dispatch.Cost <= 0 {
+		t.Error("EMS cycle produced non-positive cost")
+	}
+	est := gridattack.NewEstimator(g, plan)
+	res, err := est.Estimate(g.TrueTopology(), z)
+	if err != nil || res.BadData {
+		t.Errorf("estimation failed: %v %v", err, res)
+	}
+	agc := gridattack.NewAGC(g)
+	traj, err := agc.Trajectory(dispatch, cycle.Dispatch.Dispatch, 50)
+	if err != nil || len(traj) < 1 {
+		t.Errorf("AGC trajectory: %v %v", traj, err)
+	}
+}
+
+func TestPublicAPICasesAndScenarios(t *testing.T) {
+	for _, name := range gridattack.EvaluationCases() {
+		c, err := gridattack.CaseByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Grid.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	c, _ := gridattack.CaseByName("paper5")
+	sc := gridattack.NewScenario(c, gridattack.ScenarioConfig{Seed: 3})
+	if sc.Capability.MaxBuses <= 0 {
+		t.Error("scenario capability not populated")
+	}
+	g, err := gridattack.Synthetic(gridattack.SynthConfig{Name: "t", Buses: 12, Lines: 16, Generators: 3, Seed: 5})
+	if err != nil || g.NumBuses() != 12 {
+		t.Errorf("Synthetic: %v %v", g, err)
+	}
+	if gridattack.NewTopology([]int{1, 2}).Size() != 2 {
+		t.Error("NewTopology wrong")
+	}
+	if gridattack.FullPlan(3, 3).CountTaken() != 9 {
+		t.Error("FullPlan wrong")
+	}
+	if gridattack.NewPlan(3, 3).CountTaken() != 0 {
+		t.Error("NewPlan wrong")
+	}
+}

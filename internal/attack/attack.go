@@ -1,0 +1,74 @@
+// Package attack implements the paper's stealthy topology-poisoning attack
+// model (Sec. III): the attacker attributes of Table I, the constraint
+// system of Eqs. 10-22 (topology attacks without state infection) and
+// Eqs. 23-29 (with UFDI state infection), encoded for the SMT solver, and
+// the extraction of concrete attack vectors from satisfying models.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// ErrModel reports an inconsistency in the model inputs.
+var ErrModel = errors.New("attack: invalid model input")
+
+// Capability bounds the attacker (paper Sec. II-E, Eq. 22 and the
+// "Attacker's Resource Limitation" input line).
+type Capability struct {
+	// MaxMeasurements is the maximum number of measurements the attacker
+	// can alter at once (T_M). Zero or negative means unlimited.
+	MaxMeasurements int
+	// MaxBuses is the maximum number of substations the attacker can
+	// compromise at once (T_B). Zero or negative means unlimited.
+	MaxBuses int
+	// States enables UFDI state infection on top of the topology attack
+	// (paper Sec. III-D). When false, only Sec. III-C attacks are modeled.
+	States bool
+	// RequireTopologyChange demands at least one line exclusion/inclusion;
+	// this is the defining feature of topology poisoning and defaults to
+	// true in the analyzer.
+	RequireTopologyChange bool
+}
+
+// Vector is a concrete stealthy attack produced by the model.
+type Vector struct {
+	ExcludedLines       []int     // p_i: lines unmapped by the attack
+	IncludedLines       []int     // q_i: open lines mapped by the attack
+	AlteredMeasurements []int     // a_i: measurements requiring false data
+	CompromisedBuses    []int     // h_j: substations the attacker must access
+	InfectedStates      []int     // c_j: buses whose state is infected
+	DeltaTheta          []float64 // state change per bus (index 0 = bus 1)
+	DeltaFlow           []float64 // total flow-measurement change per line
+	DeltaConsumption    []float64 // consumption-measurement change per bus
+	ObservedLoads       []float64 // loads the operator will estimate
+	MappedTopology      grid.Topology
+}
+
+// TopologyOnly reports whether the vector leaves all states uninfected.
+func (v *Vector) TopologyOnly() bool { return len(v.InfectedStates) == 0 }
+
+// String summarizes the vector.
+func (v *Vector) String() string {
+	return fmt.Sprintf("attack{excl:%v incl:%v states:%v meas:%v buses:%v}",
+		v.ExcludedLines, v.IncludedLines, v.InfectedStates,
+		v.AlteredMeasurements, v.CompromisedBuses)
+}
+
+// validateInputs checks the grid/plan/operating-point consistency shared by
+// the model constructors.
+func validateInputs(g *grid.Grid, plan *measure.Plan, pf *grid.PowerFlow) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if err := plan.Validate(g); err != nil {
+		return err
+	}
+	if pf == nil || len(pf.LineFlow) != g.NumLines() || len(pf.Theta) != g.NumBuses() {
+		return fmt.Errorf("%w: operating point does not match the grid", ErrModel)
+	}
+	return nil
+}

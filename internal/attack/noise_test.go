@@ -1,0 +1,125 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/se"
+)
+
+// TestStealthUnderGaussianNoise verifies the attack's key robustness
+// property: the false-data overlay is *consistent with the measurement
+// model*, so it adds no signal for the chi-square detector. Across many
+// noisy trials, the detection rate with the attack applied must stay at the
+// detector's false-positive rate (compared against attack-free trials on
+// the same noise seeds).
+func TestStealthUnderGaussianNoise(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewModel(g, plan, Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := model.FindVector()
+	if err != nil || v == nil {
+		t.Fatalf("vector: %v %v", v, err)
+	}
+
+	const trials = 200
+	const sigma = 0.005
+	est := se.NewEstimator(g, plan) // chi-square detection (no fixed threshold)
+	est.SetUniformNoise(sigma)
+	detectedHonest, detectedAttacked := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		honest, err := plan.FromPowerFlow(g, pf, sigma, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resHonest, err := est.Estimate(g.TrueTopology(), honest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resHonest.BadData {
+			detectedHonest++
+		}
+
+		// Same noise realization, with the attack overlay applied on top.
+		attacked := honest.Clone()
+		for line := 1; line <= g.NumLines(); line++ {
+			d := v.DeltaFlow[line-1]
+			if d == 0 {
+				continue
+			}
+			if i := plan.ForwardIndex(line); attacked.Present[i] {
+				attacked.Values[i] += d
+			}
+			if i := plan.BackwardIndex(line); attacked.Present[i] {
+				attacked.Values[i] -= d
+			}
+		}
+		for bus := 1; bus <= g.NumBuses(); bus++ {
+			if d := v.DeltaConsumption[bus-1]; d != 0 {
+				if i := plan.ConsumptionIndex(bus); attacked.Present[i] {
+					attacked.Values[i] += d
+				}
+			}
+		}
+		resAttacked, err := est.Estimate(v.MappedTopology, attacked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resAttacked.BadData {
+			detectedAttacked++
+		}
+	}
+	t.Logf("detection rate: honest %d/%d, attacked %d/%d", detectedHonest, trials, detectedAttacked, trials)
+	// The attack must not raise the detection rate materially above the
+	// honest false-positive rate.
+	if detectedAttacked > detectedHonest+trials/20 {
+		t.Errorf("attack is statistically detectable: honest %d vs attacked %d of %d",
+			detectedHonest, detectedAttacked, trials)
+	}
+}
+
+// TestNaiveAttackDetectedUnderNoise is the control experiment: an attacker
+// who flips the breaker status but does NOT adjust the measurements is
+// caught essentially every time.
+func TestNaiveAttackDetectedUnderNoise(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := se.NewEstimator(g, plan)
+	est.SetUniformNoise(0.005)
+	poisoned := g.TrueTopology().WithExcluded(6)
+	const trials = 100
+	detected := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		z, err := plan.FromPowerFlow(g, pf, 0.005, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := est.Estimate(poisoned, z) // measurements NOT adjusted
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BadData {
+			detected++
+		}
+	}
+	t.Logf("naive topology-only tamper detected %d/%d times", detected, trials)
+	if detected < trials*9/10 {
+		t.Errorf("naive attack detected only %d/%d — detector too weak", detected, trials)
+	}
+}

@@ -1,0 +1,208 @@
+package attack
+
+import (
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/measure"
+)
+
+// TestUnknownAdmittanceBlocksAttack exercises Eq. 19: when line 6's
+// admittance is unknown to the attacker and its flow measurements are taken,
+// the flow deltas must stay zero, killing the exclusion attack.
+func TestUnknownAdmittanceBlocksAttack(t *testing.T) {
+	g := cases.Paper5Bus()
+	g.Lines[5].AdmittanceKnown = false
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, cases.Paper5PlanCase1(), Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FindVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("attack found despite unknown admittance: %v", v)
+	}
+}
+
+// TestUntakenFlowMeasurementsRelaxKnowledge is the flip side of Eq. 19: with
+// line 6's flow measurements not taken, unknown admittance no longer blocks
+// the exclusion (only the consumption adjustments remain).
+func TestUntakenFlowMeasurementsRelaxKnowledge(t *testing.T) {
+	g := cases.Paper5Bus()
+	g.Lines[5].AdmittanceKnown = false
+	plan := cases.Paper5PlanCase1().Clone()
+	plan.Taken[plan.ForwardIndex(6)] = false
+	plan.Taken[plan.BackwardIndex(6)] = false
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, plan, Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FindVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("attack should exist when the line's flow is unmetered")
+	}
+	// Only the two consumption measurements need altering now.
+	if len(v.AlteredMeasurements) != 2 {
+		t.Errorf("altered = %v, want just the two consumptions", v.AlteredMeasurements)
+	}
+}
+
+// TestSecuredConsumptionBlocksAttack: if bus 3's consumption measurement is
+// secured, the required alteration there is impossible.
+func TestSecuredConsumptionBlocksAttack(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1().Clone()
+	idx := plan.ConsumptionIndex(3) // measurement 17
+	plan.Secured[idx] = true
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, plan, Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FindVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("attack found despite secured consumption: %v", v)
+	}
+}
+
+// TestUnlimitedResources: zero budgets mean unlimited (the paper's model
+// without Eq. 22).
+func TestUnlimitedResources(t *testing.T) {
+	g := cases.Paper5Bus()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, cases.Paper5PlanCase1(), Capability{RequireTopologyChange: true}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FindVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("attack must exist without resource limits")
+	}
+}
+
+// TestNoTopologyChangeRequired: with RequireTopologyChange false and states
+// enabled, a pure UFDI attack (no topology error) is admissible.
+func TestNoTopologyChangeRequired(t *testing.T) {
+	g := cases.Paper5Bus()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, cases.Paper5PlanCase2(), Capability{
+		MaxMeasurements: 12, MaxBuses: 3, States: true, RequireTopologyChange: false,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FindVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("some vector should exist (even the empty attack)")
+	}
+}
+
+// TestDeltaConsistency: on any found vector, the consumption deltas must
+// equal the incidence-weighted sum of flow deltas (Eq. 28), and the deltas
+// of untouched lines must be zero.
+func TestDeltaConsistency(t *testing.T) {
+	g := cases.Paper5Bus()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(g, cases.Paper5PlanCase2(), Capability{
+		MaxMeasurements: 12, MaxBuses: 3, States: true, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.FindVector()
+	if err != nil || v == nil {
+		t.Fatalf("FindVector: %v %v", v, err)
+	}
+	for j := 1; j <= g.NumBuses(); j++ {
+		var want float64
+		for _, ln := range g.Lines {
+			if ln.To == j {
+				want += v.DeltaFlow[ln.ID-1]
+			}
+			if ln.From == j {
+				want -= v.DeltaFlow[ln.ID-1]
+			}
+		}
+		got := v.DeltaConsumption[j-1]
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("bus %d: dCons %v != incidence sum %v", j, got, want)
+		}
+	}
+}
+
+// TestBuildAttackedMeasurementsPartialPlan: deltas on measurements that are
+// not taken are simply dropped.
+func TestBuildAttackedMeasurementsPartialPlan(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := measure.NewPlan(g.NumLines(), g.NumBuses())
+	plan.Taken[1] = true
+	plan.Taken[15] = true
+	plan.Taken[16] = true
+	plan.Taken[17] = true
+	plan.Taken[18] = true
+	plan.Taken[19] = true
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Vector{
+		DeltaFlow:        make([]float64, g.NumLines()),
+		DeltaConsumption: make([]float64, g.NumBuses()),
+	}
+	v.DeltaFlow[5] = 0.1        // line 6 measurements not taken: no effect
+	v.DeltaConsumption[2] = 0.1 // bus 3 consumption taken: applied
+	z, err := BuildAttackedMeasurements(g, plan, pf, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Present[6] {
+		t.Error("measurement 6 should be absent")
+	}
+	honest, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := z.Values[17], honest.Values[17]+0.1; got != want {
+		t.Errorf("measurement 17 = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,211 @@
+package cases
+
+import (
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+func TestPaper5BusMatchesTableII(t *testing.T) {
+	g := Paper5Bus()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumBuses() != 5 || g.NumLines() != 7 || g.NumMeasurements() != 19 {
+		t.Fatalf("dims wrong: %d buses, %d lines, %d meas", g.NumBuses(), g.NumLines(), g.NumMeasurements())
+	}
+	// Paper: lines 5 and 6 are non-core; statuses of lines 1, 2, 6 unsecured;
+	// attacker can alter all line statuses except 1 and 2.
+	for _, ln := range g.Lines {
+		wantCore := ln.ID != 5 && ln.ID != 6
+		if ln.Core != wantCore {
+			t.Errorf("line %d Core = %v, want %v", ln.ID, ln.Core, wantCore)
+		}
+		wantSecured := ln.ID != 1 && ln.ID != 2 && ln.ID != 6
+		if ln.StatusSecured != wantSecured {
+			t.Errorf("line %d StatusSecured = %v, want %v", ln.ID, ln.StatusSecured, wantSecured)
+		}
+		wantAlter := ln.ID != 1 && ln.ID != 2
+		if ln.CanAlterStatus != wantAlter {
+			t.Errorf("line %d CanAlterStatus = %v, want %v", ln.ID, ln.CanAlterStatus, wantAlter)
+		}
+		if !ln.InService || !ln.AdmittanceKnown {
+			t.Errorf("line %d must be in service with known admittance", ln.ID)
+		}
+	}
+	if tl := g.TotalLoad(); tl < 0.83-1e-9 || tl > 0.83+1e-9 {
+		t.Errorf("total load = %v, want 0.83 (83 MW)", tl)
+	}
+	if len(g.Generators) != 3 {
+		t.Fatalf("generators = %d, want 3", len(g.Generators))
+	}
+}
+
+func TestPaper5PlanCase1(t *testing.T) {
+	p := Paper5PlanCase1()
+	// Not taken: 4, 8, 9, 11.
+	for i := 1; i <= 19; i++ {
+		wantTaken := i != 4 && i != 8 && i != 9 && i != 11
+		if p.Taken[i] != wantTaken {
+			t.Errorf("measurement %d Taken = %v, want %v", i, p.Taken[i], wantTaken)
+		}
+	}
+	// Secured set: every measurement residing at buses 1, 2, 5.
+	g := Paper5Bus()
+	securedBuses := map[int]bool{1: true, 2: true, 5: true}
+	for i := 1; i <= 19; i++ {
+		if !p.Taken[i] {
+			continue
+		}
+		if want := securedBuses[p.BusOf(i, g)]; p.Secured[i] != want {
+			t.Errorf("measurement %d (bus %d) Secured = %v, want %v", i, p.BusOf(i, g), p.Secured[i], want)
+		}
+	}
+	// Accessible measurements per the paper's narrative.
+	accessible := map[int]bool{6: true, 7: true, 10: true, 12: true, 13: true, 14: true, 17: true, 18: true, 19: true}
+	for i := 1; i <= 19; i++ {
+		if p.Accessible[i] != accessible[i] {
+			t.Errorf("measurement %d Accessible = %v, want %v", i, p.Accessible[i], accessible[i])
+		}
+	}
+}
+
+func TestPaper5PlanCase2(t *testing.T) {
+	p := Paper5PlanCase2()
+	for i := 1; i <= 19; i++ {
+		if !p.Taken[i] {
+			t.Errorf("measurement %d must be taken", i)
+		}
+		wantSecured := i == 1 || i == 2 || i == 15
+		if p.Secured[i] != wantSecured {
+			t.Errorf("measurement %d Secured = %v, want %v", i, p.Secured[i], wantSecured)
+		}
+		if p.Accessible[i] == wantSecured {
+			t.Errorf("measurement %d Accessible = %v, want %v", i, p.Accessible[i], !wantSecured)
+		}
+	}
+}
+
+func TestIEEE14(t *testing.T) {
+	g := IEEE14Bus()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumBuses() != 14 || g.NumLines() != 20 {
+		t.Fatalf("dims: %d buses %d lines, want 14/20", g.NumBuses(), g.NumLines())
+	}
+	if len(g.Generators) != 5 {
+		t.Fatalf("generators = %d, want 5 (paper Sec. IV-A)", len(g.Generators))
+	}
+	if !g.Connected(g.TrueTopology()) {
+		t.Fatal("IEEE 14-bus must be connected")
+	}
+	// Loads sorted by bus and total = 2.59 p.u.
+	if tl := g.TotalLoad(); tl < 2.58 || tl > 2.60 {
+		t.Errorf("total load = %v, want 2.59", tl)
+	}
+	assertCoreIsSpanning(t, g)
+}
+
+func TestSyntheticSystems(t *testing.T) {
+	for _, cfg := range []SynthConfig{
+		{Name: "s30", Buses: 30, Lines: 41, Generators: 6, Seed: 1},
+		{Name: "s57", Buses: 57, Lines: 80, Generators: 7, Seed: 2},
+		{Name: "s118", Buses: 118, Lines: 186, Generators: 23, Seed: 3},
+	} {
+		g, err := Synthetic(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if g.NumBuses() != cfg.Buses || g.NumLines() != cfg.Lines || len(g.Generators) != cfg.Generators {
+			t.Errorf("%s dims wrong: %d/%d/%d", cfg.Name, g.NumBuses(), g.NumLines(), len(g.Generators))
+		}
+		if !g.Connected(g.TrueTopology()) {
+			t.Errorf("%s: not connected", cfg.Name)
+		}
+		var genCap float64
+		for _, gen := range g.Generators {
+			genCap += gen.MaxP
+		}
+		if genCap <= g.TotalLoad() {
+			t.Errorf("%s: generation capacity %v <= load %v", cfg.Name, genCap, g.TotalLoad())
+		}
+		assertCoreIsSpanning(t, g)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := SynthConfig{Name: "s", Buses: 20, Lines: 28, Generators: 4, Seed: 42}
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Lines) != len(b.Lines) {
+		t.Fatal("line counts differ")
+	}
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Fatalf("line %d differs between identical seeds", i+1)
+		}
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(SynthConfig{Buses: 2, Lines: 5, Generators: 1}); err == nil {
+		t.Error("want error for too few buses")
+	}
+	if _, err := Synthetic(SynthConfig{Buses: 10, Lines: 5, Generators: 1}); err == nil {
+		t.Error("want error for too few lines")
+	}
+	if _, err := Synthetic(SynthConfig{Buses: 10, Lines: 12, Generators: 0}); err == nil {
+		t.Error("want error for zero generators")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := Registry()
+	for _, name := range EvaluationOrder() {
+		c, ok := reg[name]
+		if !ok {
+			t.Fatalf("registry missing %q", name)
+		}
+		if err := c.Grid.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := c.Plan.Validate(c.Grid); err != nil {
+			t.Errorf("%s plan: %v", name, err)
+		}
+	}
+	if _, err := ByName("paper5"); err != nil {
+		t.Errorf("ByName(paper5): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+	// Paper's generator counts for the scalability sweep.
+	wantGens := map[string]int{"ieee14": 5, "synth30": 6, "synth57": 7, "synth118": 23}
+	for name, want := range wantGens {
+		if got := len(reg[name].Grid.Generators); got != want {
+			t.Errorf("%s: %d generators, want %d", name, got, want)
+		}
+	}
+}
+
+// assertCoreIsSpanning verifies the core (fixed) lines alone connect the
+// network, so excluding any single non-core line cannot island a bus.
+func assertCoreIsSpanning(t *testing.T, g *grid.Grid) {
+	t.Helper()
+	var core []int
+	for _, ln := range g.Lines {
+		if ln.Core {
+			core = append(core, ln.ID)
+		}
+	}
+	if !g.Connected(grid.NewTopology(core)) {
+		t.Error("core lines do not span the network")
+	}
+}

@@ -1,0 +1,135 @@
+package cases
+
+import (
+	"gridattack/internal/grid"
+)
+
+// IEEE14Bus returns the IEEE 14-bus test system with the standard branch
+// reactances and bus loads, 5 generators (buses 1, 2, 3, 6, 8 — matching
+// the paper's generator count), linear cost curves (the paper takes cost
+// coefficients arbitrarily), and line capacities sized from a balanced base
+// dispatch (the PSTCA case carries no line ratings).
+func IEEE14Bus() *grid.Grid {
+	type br struct {
+		from, to int
+		x        float64 // reactance, p.u.
+	}
+	branches := []br{
+		{1, 2, 0.05917}, {1, 5, 0.22304}, {2, 3, 0.19797}, {2, 4, 0.17632},
+		{2, 5, 0.17388}, {3, 4, 0.17103}, {4, 5, 0.04211}, {4, 7, 0.20912},
+		{4, 9, 0.55618}, {5, 6, 0.25202}, {6, 11, 0.19890}, {6, 12, 0.25581},
+		{6, 13, 0.13027}, {7, 8, 0.17615}, {7, 9, 0.11001}, {9, 10, 0.08450},
+		{9, 14, 0.27038}, {10, 11, 0.19207}, {12, 13, 0.19988}, {13, 14, 0.34802},
+	}
+	loadsMW := map[int]float64{
+		2: 21.7, 3: 94.2, 4: 47.8, 5: 7.6, 6: 11.2, 9: 29.5,
+		10: 9.0, 11: 3.5, 12: 6.1, 13: 13.5, 14: 14.9,
+	}
+	genBuses := map[int]bool{1: true, 2: true, 3: true, 6: true, 8: true}
+
+	g := &grid.Grid{Name: "ieee14", RefBus: 1}
+	for id := 1; id <= 14; id++ {
+		g.Buses = append(g.Buses, grid.Bus{
+			ID:           id,
+			HasGenerator: genBuses[id],
+			HasLoad:      loadsMW[id] > 0,
+		})
+	}
+	for i, b := range branches {
+		g.Lines = append(g.Lines, grid.Line{
+			ID:              i + 1,
+			From:            b.from,
+			To:              b.to,
+			Admittance:      1 / b.x,
+			Capacity:        1, // provisional; resized below
+			InService:       true,
+			AdmittanceKnown: true,
+			CanAlterStatus:  true,
+		})
+	}
+	g.Generators = []grid.Generator{
+		{Bus: 1, MaxP: 3.32, MinP: 0, Alpha: 60, Beta: 2000},
+		{Bus: 2, MaxP: 1.40, MinP: 0, Alpha: 50, Beta: 2500},
+		{Bus: 3, MaxP: 1.00, MinP: 0, Alpha: 60, Beta: 3500},
+		{Bus: 6, MaxP: 1.00, MinP: 0, Alpha: 40, Beta: 4000},
+		{Bus: 8, MaxP: 1.00, MinP: 0, Alpha: 40, Beta: 4500},
+	}
+	for bus, mw := range loadsMW {
+		p := mw / 100 // 100 MVA base
+		g.Loads = append(g.Loads, grid.Load{Bus: bus, P: p, MaxP: p * 1.5, MinP: p * 0.5})
+	}
+	sortLoads(g)
+	sizeCapacities(g, 1.3, 0.10)
+	markCoreLines(g)
+	return g
+}
+
+// sizeCapacities sets each line's capacity to max(floor, margin*|flow|)
+// where flows come from a balanced dispatch proportional to generator
+// capacity. This guarantees the base dispatch is OPF-feasible.
+func sizeCapacities(g *grid.Grid, margin, floor float64) {
+	total := g.TotalLoad()
+	var capSum float64
+	for _, gen := range g.Generators {
+		capSum += gen.MaxP
+	}
+	dispatch := make([]float64, g.NumBuses())
+	for _, gen := range g.Generators {
+		dispatch[gen.Bus-1] = total * gen.MaxP / capSum
+	}
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		// The base systems are connected by construction; a failure here is
+		// a programming error in the case data.
+		panic("cases: base power flow failed: " + err.Error())
+	}
+	for i := range g.Lines {
+		f := pf.LineFlow[i]
+		if f < 0 {
+			f = -f
+		}
+		c := margin * f
+		if c < floor {
+			c = floor
+		}
+		g.Lines[i].Capacity = c
+	}
+}
+
+// markCoreLines marks a spanning set of lines as core (fixed, never opened)
+// so that excluding any non-core line leaves the network connected —
+// mirroring the paper's "core topology" notion. Non-core lines keep
+// unsecured statuses so topology attacks have room to act.
+func markCoreLines(g *grid.Grid) {
+	parent := make([]int, g.NumBuses()+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := range g.Lines {
+		ln := &g.Lines[i]
+		rf, rt := find(ln.From), find(ln.To)
+		if rf != rt {
+			parent[rf] = rt
+			ln.Core = true
+			ln.StatusSecured = true
+		} else {
+			ln.Core = false
+			ln.StatusSecured = false
+		}
+	}
+}
+
+func sortLoads(g *grid.Grid) {
+	for i := 1; i < len(g.Loads); i++ {
+		for j := i; j > 0 && g.Loads[j].Bus < g.Loads[j-1].Bus; j-- {
+			g.Loads[j], g.Loads[j-1] = g.Loads[j-1], g.Loads[j]
+		}
+	}
+}

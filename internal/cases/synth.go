@@ -1,0 +1,170 @@
+package cases
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// SynthConfig parameterizes the synthetic system generator.
+type SynthConfig struct {
+	Name       string
+	Buses      int
+	Lines      int // must be >= Buses (ring plus chords)
+	Generators int
+	Seed       int64
+}
+
+// Synthetic generates a deterministic, connected, OPF-feasible test system
+// with the given dimensions. The topology is a ring over all buses (which
+// guarantees connectivity and gives every bus degree >= 2) plus random
+// chords up to the requested line count; electrical parameters, loads, and
+// costs are drawn from ranges typical of per-unit transmission studies.
+func Synthetic(cfg SynthConfig) (*grid.Grid, error) {
+	if cfg.Buses < 3 {
+		return nil, fmt.Errorf("cases: synthetic system needs >= 3 buses, got %d", cfg.Buses)
+	}
+	if cfg.Lines < cfg.Buses {
+		return nil, fmt.Errorf("cases: synthetic system needs lines >= buses (ring), got %d < %d", cfg.Lines, cfg.Buses)
+	}
+	if cfg.Generators < 1 || cfg.Generators > cfg.Buses {
+		return nil, fmt.Errorf("cases: generator count %d out of range 1..%d", cfg.Generators, cfg.Buses)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &grid.Grid{Name: cfg.Name, RefBus: 1}
+
+	genEvery := cfg.Buses / cfg.Generators
+	genCount := 0
+	for id := 1; id <= cfg.Buses; id++ {
+		isGen := genCount < cfg.Generators && (id-1)%genEvery == 0
+		if isGen {
+			genCount++
+		}
+		g.Buses = append(g.Buses, grid.Bus{ID: id, HasGenerator: isGen})
+	}
+
+	// Ring edges 1-2, 2-3, ..., b-1.
+	type edge struct{ f, t int }
+	seen := make(map[edge]bool)
+	addLine := func(f, t int) {
+		if f > t {
+			f, t = t, f
+		}
+		id := len(g.Lines) + 1
+		seen[edge{f, t}] = true
+		g.Lines = append(g.Lines, grid.Line{
+			ID:              id,
+			From:            f,
+			To:              t,
+			Admittance:      2 + rng.Float64()*23, // 1/x for x in ~[0.04, 0.5]
+			Capacity:        1,                    // resized below
+			InService:       true,
+			AdmittanceKnown: true,
+			CanAlterStatus:  true,
+		})
+	}
+	for id := 1; id <= cfg.Buses; id++ {
+		next := id%cfg.Buses + 1
+		addLine(id, next)
+	}
+	for len(g.Lines) < cfg.Lines {
+		f := rng.Intn(cfg.Buses) + 1
+		t := rng.Intn(cfg.Buses) + 1
+		if f == t {
+			continue
+		}
+		ef, et := f, t
+		if ef > et {
+			ef, et = et, ef
+		}
+		if seen[edge{ef, et}] {
+			continue
+		}
+		addLine(f, t)
+	}
+
+	// Loads on roughly 70% of buses.
+	var totalLoad float64
+	for id := 1; id <= cfg.Buses; id++ {
+		if rng.Float64() > 0.7 {
+			continue
+		}
+		p := 0.05 + rng.Float64()*0.3
+		g.Buses[id-1].HasLoad = true
+		g.Loads = append(g.Loads, grid.Load{Bus: id, P: p, MaxP: p * 1.5, MinP: p * 0.5})
+		totalLoad += p
+	}
+	if len(g.Loads) == 0 {
+		g.Buses[1].HasLoad = true
+		g.Loads = append(g.Loads, grid.Load{Bus: 2, P: 0.2, MaxP: 0.3, MinP: 0.1})
+		totalLoad = 0.2
+	}
+
+	// Generators sized with ~80% aggregate headroom over load.
+	per := totalLoad * 1.8 / float64(cfg.Generators)
+	for _, bus := range g.Buses {
+		if !bus.HasGenerator {
+			continue
+		}
+		g.Generators = append(g.Generators, grid.Generator{
+			Bus:   bus.ID,
+			MaxP:  per * (0.8 + rng.Float64()*0.4),
+			MinP:  0,
+			Alpha: 20 + rng.Float64()*80,
+			Beta:  1000 + rng.Float64()*2000,
+		})
+	}
+
+	sizeCapacities(g, 1.3, 0.10)
+	markCoreLines(g)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("cases: synthetic system invalid: %w", err)
+	}
+	return g, nil
+}
+
+// Case is a named test system with its default measurement plan.
+type Case struct {
+	Grid *grid.Grid
+	Plan *measure.Plan
+}
+
+// Registry returns the paper's evaluation systems keyed by name:
+// paper5, ieee14, synth30, synth57, synth118. Generator counts for the
+// synthetic systems follow the paper (6, 7, and 23).
+func Registry() map[string]Case {
+	out := map[string]Case{}
+	p5 := Paper5Bus()
+	out["paper5"] = Case{Grid: p5, Plan: Paper5PlanCase2()}
+	i14 := IEEE14Bus()
+	out["ieee14"] = Case{Grid: i14, Plan: measure.FullPlan(i14.NumLines(), i14.NumBuses())}
+	for _, cfg := range []SynthConfig{
+		{Name: "synth30", Buses: 30, Lines: 41, Generators: 6, Seed: 30},
+		{Name: "synth57", Buses: 57, Lines: 80, Generators: 7, Seed: 57},
+		{Name: "synth118", Buses: 118, Lines: 186, Generators: 23, Seed: 118},
+	} {
+		g, err := Synthetic(cfg)
+		if err != nil {
+			panic("cases: registry generation failed: " + err.Error())
+		}
+		out[cfg.Name] = Case{Grid: g, Plan: measure.FullPlan(g.NumLines(), g.NumBuses())}
+	}
+	return out
+}
+
+// ByName returns one registry case.
+func ByName(name string) (Case, error) {
+	c, ok := Registry()[name]
+	if !ok {
+		return Case{}, fmt.Errorf("cases: unknown case %q", name)
+	}
+	return c, nil
+}
+
+// EvaluationOrder returns the case names in the order the paper's scalability
+// figures sweep them.
+func EvaluationOrder() []string {
+	return []string{"paper5", "ieee14", "synth30", "synth57", "synth118"}
+}

@@ -1,0 +1,232 @@
+// Package contingency implements the EMS security-assessment modules that
+// share the OPF's inputs in the paper's Fig. 1: N-1 contingency screening
+// (does any single line outage overload the network at the current
+// dispatch?) and security-constrained OPF (the cheapest dispatch that stays
+// within limits under every screened outage). Both are built on the LODF
+// distribution factors of package dist, the paper's Sec. IV-A machinery.
+//
+// Topology poisoning corrupts these modules too: a dispatch that looks N-1
+// secure on the poisoned topology may be insecure on the real one. The
+// Screen/Assess pair makes that gap measurable.
+package contingency
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridattack/internal/dist"
+	"gridattack/internal/grid"
+	"gridattack/internal/lp"
+)
+
+// ErrInsecure reports that no dispatch satisfies the security constraints.
+var ErrInsecure = errors.New("contingency: no secure dispatch exists")
+
+// Violation is one post-contingency limit violation.
+type Violation struct {
+	Outage    int     // line whose outage causes the violation
+	Monitored int     // overloaded line
+	Flow      float64 // post-outage flow
+	Limit     float64 // capacity
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("outage of line %d overloads line %d: |%.4f| > %.4f",
+		v.Outage, v.Monitored, v.Flow, v.Limit)
+}
+
+// Screen runs N-1 contingency analysis at the given pre-contingency flows:
+// for every single line outage that leaves the network connected, it
+// predicts post-outage flows via LODFs and reports all limit violations.
+// Radial outages (which would island part of the network) are skipped, as
+// in standard industry screening.
+func Screen(g *grid.Grid, t grid.Topology, flows []float64) ([]Violation, error) {
+	if len(flows) != g.NumLines() {
+		return nil, fmt.Errorf("contingency: flow vector length %d, want %d", len(flows), g.NumLines())
+	}
+	fac, err := dist.New(g, t)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, outage := range t.Lines() {
+		if !g.Connected(t.WithExcluded(outage)) {
+			continue // radial line: islanding, not an overload question
+		}
+		post, err := fac.FlowsAfterOutage(flows, outage)
+		if err != nil {
+			if errors.Is(err, dist.ErrRadial) {
+				continue
+			}
+			return nil, err
+		}
+		for _, ln := range g.Lines {
+			if ln.ID == outage || !t.Contains(ln.ID) {
+				continue
+			}
+			if f := post[ln.ID-1]; math.Abs(f) > ln.Capacity+1e-9 {
+				out = append(out, Violation{
+					Outage:    outage,
+					Monitored: ln.ID,
+					Flow:      f,
+					Limit:     ln.Capacity,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Secure reports whether the dispatch passes N-1 screening.
+func Secure(g *grid.Grid, t grid.Topology, flows []float64) (bool, error) {
+	v, err := Screen(g, t, flows)
+	if err != nil {
+		return false, err
+	}
+	return len(v) == 0, nil
+}
+
+// Solution is a security-constrained dispatch.
+type Solution struct {
+	Cost     float64
+	Dispatch []float64 // per bus
+	Flows    []float64 // pre-contingency flows
+}
+
+// SolveSCOPF computes the minimum-cost dispatch whose flows respect line
+// limits both pre-contingency and after every non-islanding single-line
+// outage (post-contingency limits relaxed by `emergencyRating`, a factor
+// >= 1 reflecting short-term ratings; 0 selects 1.0). The formulation is
+// the PTDF/LODF LP: variables are generator outputs only.
+func SolveSCOPF(g *grid.Grid, t grid.Topology, loads []float64, emergencyRating float64) (*Solution, error) {
+	if len(g.Generators) == 0 {
+		return nil, errors.New("contingency: no generators")
+	}
+	if loads == nil {
+		loads = g.LoadVector()
+	}
+	if len(loads) != g.NumBuses() {
+		return nil, fmt.Errorf("contingency: load vector length %d, want %d", len(loads), g.NumBuses())
+	}
+	if emergencyRating <= 0 {
+		emergencyRating = 1
+	}
+	fac, err := dist.New(g, t)
+	if err != nil {
+		return nil, err
+	}
+
+	p := lp.NewProblem()
+	genVar := make([]int, len(g.Generators))
+	var fixedCost float64
+	for i, gen := range g.Generators {
+		genVar[i] = p.AddVariable(gen.MinP, gen.MaxP, gen.Beta, fmt.Sprintf("pg%d", gen.Bus))
+		fixedCost += gen.Alpha
+	}
+	terms := make([]lp.Term, len(genVar))
+	var total float64
+	for i := range genVar {
+		terms[i] = lp.Term{Var: genVar[i], Coeff: 1}
+	}
+	for _, l := range loads {
+		total += l
+	}
+	p.AddConstraint(terms, lp.EQ, total)
+
+	// flowCoeff returns the row expressing monitored line `mon`'s flow as a
+	// function of generation (plus a constant from loads), optionally after
+	// outage `out` (0 = pre-contingency).
+	flowCoeff := func(mon, out int) ([]lp.Term, float64, error) {
+		coeff := make([]float64, g.NumBuses())
+		for j := 1; j <= g.NumBuses(); j++ {
+			coeff[j-1] = fac.PTDF(mon, j)
+		}
+		if out != 0 {
+			lodf, err := fac.LODF(mon, out)
+			if err != nil {
+				return nil, 0, err
+			}
+			for j := 1; j <= g.NumBuses(); j++ {
+				coeff[j-1] += lodf * fac.PTDF(out, j)
+			}
+		}
+		var constPart float64
+		for j := 0; j < g.NumBuses(); j++ {
+			constPart -= coeff[j] * loads[j]
+		}
+		var rowTerms []lp.Term
+		for i, gen := range g.Generators {
+			if c := coeff[gen.Bus-1]; c != 0 {
+				rowTerms = append(rowTerms, lp.Term{Var: genVar[i], Coeff: c})
+			}
+		}
+		return rowTerms, constPart, nil
+	}
+
+	addLimit := func(mon, out int, limit float64) error {
+		rowTerms, constPart, err := flowCoeff(mon, out)
+		if err != nil {
+			return err
+		}
+		p.AddConstraint(rowTerms, lp.LE, limit-constPart)
+		neg := make([]lp.Term, len(rowTerms))
+		for k, tm := range rowTerms {
+			neg[k] = lp.Term{Var: tm.Var, Coeff: -tm.Coeff}
+		}
+		p.AddConstraint(neg, lp.LE, limit+constPart)
+		return nil
+	}
+
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		if err := addLimit(ln.ID, 0, ln.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	for _, outage := range t.Lines() {
+		if !g.Connected(t.WithExcluded(outage)) {
+			continue
+		}
+		for _, ln := range g.Lines {
+			if ln.ID == outage || !t.Contains(ln.ID) {
+				continue
+			}
+			if err := addLimit(ln.ID, outage, ln.Capacity*emergencyRating); err != nil {
+				if errors.Is(err, dist.ErrRadial) {
+					continue
+				}
+				return nil, err
+			}
+		}
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, ErrInsecure
+	case lp.Unbounded:
+		return nil, errors.New("contingency: unbounded LP (model error)")
+	}
+	out := &Solution{
+		Cost:     sol.Objective + fixedCost,
+		Dispatch: make([]float64, g.NumBuses()),
+	}
+	for i, gen := range g.Generators {
+		out.Dispatch[gen.Bus-1] += sol.Value(genVar[i])
+	}
+	inj := make([]float64, g.NumBuses())
+	for j := range inj {
+		inj[j] = out.Dispatch[j] - loads[j]
+	}
+	out.Flows, err = fac.Flows(inj)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

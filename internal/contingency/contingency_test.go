@@ -1,0 +1,198 @@
+package contingency
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/opf"
+)
+
+func TestScreenCleanAtGenerousLimits(t *testing.T) {
+	g := cases.IEEE14Bus()
+	for i := range g.Lines {
+		g.Lines[i].Capacity *= 10 // generous: no outage can overload
+	}
+	top := g.TrueTopology()
+	sol, err := opf.Solve(g, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, err := Screen(g, top, sol.Flows)
+	if err != nil {
+		t.Fatalf("Screen: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("violations at 10x limits: %v", violations)
+	}
+	secure, err := Secure(g, top, sol.Flows)
+	if err != nil || !secure {
+		t.Errorf("Secure = %v, %v; want true", secure, err)
+	}
+}
+
+func TestScreenFindsViolations(t *testing.T) {
+	// At the paper 5-bus OPF optimum the limits are tight; some single
+	// outage overloads a neighbour.
+	g := cases.Paper5Bus()
+	top := g.TrueTopology()
+	sol, err := opf.Solve(g, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, err := Screen(g, top, sol.Flows)
+	if err != nil {
+		t.Fatalf("Screen: %v", err)
+	}
+	if len(violations) == 0 {
+		t.Skip("no N-1 violations at this optimum (dispatch-dependent)")
+	}
+	for _, v := range violations {
+		if v.String() == "" {
+			t.Error("violation must stringify")
+		}
+		if math.Abs(v.Flow) <= v.Limit {
+			t.Errorf("reported non-violation: %+v", v)
+		}
+	}
+}
+
+func TestScreenMatchesExactOutage(t *testing.T) {
+	// Violations predicted by LODF must agree with exact re-solves.
+	g := cases.Paper5Bus()
+	top := g.TrueTopology()
+	sol, err := opf.Solve(g, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, err := Screen(g, top, sol.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := make([]float64, g.NumBuses())
+	loads := g.LoadVector()
+	for j := range inj {
+		inj[j] = sol.Dispatch[j] - loads[j]
+	}
+	for _, v := range violations {
+		after := top.WithExcluded(v.Outage)
+		exact, err := g.SolvePowerFlowInjections(after, inj)
+		if err != nil {
+			t.Fatalf("exact outage %d: %v", v.Outage, err)
+		}
+		if math.Abs(exact.LineFlow[v.Monitored-1]-v.Flow) > 1e-6 {
+			t.Errorf("outage %d line %d: LODF %v != exact %v",
+				v.Outage, v.Monitored, v.Flow, exact.LineFlow[v.Monitored-1])
+		}
+	}
+}
+
+func TestSCOPFSecureAndCostlier(t *testing.T) {
+	g := cases.IEEE14Bus()
+	// Mildly relaxed limits so a secure dispatch exists but binds.
+	for i := range g.Lines {
+		g.Lines[i].Capacity *= 2.5
+	}
+	top := g.TrueTopology()
+	base, err := opf.Solve(g, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SolveSCOPF(g, top, nil, 1.3)
+	if errors.Is(err, ErrInsecure) {
+		t.Skip("no N-1 secure dispatch in this configuration")
+	}
+	if err != nil {
+		t.Fatalf("SolveSCOPF: %v", err)
+	}
+	if sc.Cost < base.Cost-1e-6 {
+		t.Errorf("SCOPF cost %v below unconstrained optimum %v", sc.Cost, base.Cost)
+	}
+	// The SCOPF dispatch must pass screening at the emergency rating.
+	gEmergency := g.Clone()
+	for i := range gEmergency.Lines {
+		gEmergency.Lines[i].Capacity *= 1.3
+	}
+	secure, err := Secure(gEmergency, top, sc.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !secure {
+		t.Error("SCOPF dispatch fails its own screening")
+	}
+	var gen float64
+	for _, p := range sc.Dispatch {
+		gen += p
+	}
+	if math.Abs(gen-g.TotalLoad()) > 1e-6 {
+		t.Errorf("SCOPF imbalance: %v vs %v", gen, g.TotalLoad())
+	}
+	t.Logf("OPF %.2f vs SCOPF %.2f (security premium %.2f%%)",
+		base.Cost, sc.Cost, 100*(sc.Cost-base.Cost)/base.Cost)
+}
+
+func TestSCOPFInfeasible(t *testing.T) {
+	g := cases.Paper5Bus()
+	// The paper system's tight limits admit no N-1 secure dispatch.
+	_, err := SolveSCOPF(g, g.TrueTopology(), nil, 1)
+	if err == nil {
+		t.Skip("system unexpectedly N-1 securable")
+	}
+	if !errors.Is(err, ErrInsecure) {
+		t.Fatalf("err = %v, want ErrInsecure", err)
+	}
+}
+
+func TestPoisonedTopologyHidesInsecurity(t *testing.T) {
+	// The attack angle: a dispatch that screens clean on the poisoned
+	// topology (line 6 missing) may violate N-1 on the real network.
+	g := cases.IEEE14Bus()
+	for i := range g.Lines {
+		g.Lines[i].Capacity *= 1.5
+	}
+	trueTopo := g.TrueTopology()
+	poisoned := trueTopo.WithExcluded(6)
+	if !g.Connected(poisoned) {
+		t.Skip("line 6 radial here")
+	}
+	sol, err := opf.Solve(g, poisoned, nil)
+	if err != nil {
+		t.Skipf("no dispatch on poisoned topology: %v", err)
+	}
+	// Screen what the operator sees vs reality. The flows on the real
+	// network differ (line 6 actually carries power).
+	inj := make([]float64, g.NumBuses())
+	loads := g.LoadVector()
+	for j := range inj {
+		inj[j] = sol.Dispatch[j] - loads[j]
+	}
+	realPF, err := g.SolvePowerFlowInjections(trueTopo, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, err := Screen(g, poisoned, sol.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := Screen(g, trueTopo, realPF.LineFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("operator sees %d violations, reality has %d", len(seen), len(real))
+}
+
+func TestBadInputs(t *testing.T) {
+	g := cases.Paper5Bus()
+	if _, err := Screen(g, g.TrueTopology(), []float64{1}); err == nil {
+		t.Error("want error for bad flow length")
+	}
+	if _, err := SolveSCOPF(g, g.TrueTopology(), []float64{1}, 1); err == nil {
+		t.Error("want error for bad load length")
+	}
+	g2 := g.Clone()
+	g2.Generators = nil
+	if _, err := SolveSCOPF(g2, g2.TrueTopology(), nil, 1); err == nil {
+		t.Error("want error for no generators")
+	}
+}

@@ -1,0 +1,249 @@
+// Package core implements the paper's primary contribution: the formal
+// framework (Fig. 2) that decides whether a stealthy topology-poisoning
+// attack exists whose impact on Optimal Power Flow reaches a target
+// generation-cost increase.
+//
+// The loop follows the paper exactly: compute the attack-free optimal cost
+// T0 and the threshold T = T0*(1 + I/100); repeatedly ask the attack model
+// for a stealthy vector; update the system with the vector's poisoned
+// topology and shifted load estimates; verify the impact by checking that no
+// OPF dispatch stays below T (Eq. 37) while OPF still converges for larger
+// budgets (Eq. 38); on failure, block the vector (quantized to the paper's
+// 2-digit precision, Sec. IV-A) and iterate until success or exhaustion.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/dist"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/opf"
+	"gridattack/internal/smt"
+)
+
+// ErrConfig reports an invalid analyzer configuration.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// VerifyMode selects how a candidate attack's OPF impact is verified.
+type VerifyMode int
+
+// Verification modes.
+const (
+	// VerifyLP computes the exact post-attack OPF minimum with the LP
+	// simplex and compares it against the threshold.
+	VerifyLP VerifyMode = iota + 1
+	// VerifySMT runs the paper's OPF feasibility model (Eq. 37): unsat of
+	// "cost <= T" certifies the increase.
+	VerifySMT
+	// VerifyShift uses the PTDF/LODF shift-factor OPF (paper Sec. IV-A);
+	// only valid for single-line exclusion attacks.
+	VerifyShift
+)
+
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyLP:
+		return "lp"
+	case VerifySMT:
+		return "smt"
+	case VerifyShift:
+		return "shift-factor"
+	default:
+		return fmt.Sprintf("VerifyMode(%d)", int(m))
+	}
+}
+
+// Analyzer holds one impact-analysis problem instance.
+type Analyzer struct {
+	Grid       *grid.Grid
+	Plan       *measure.Plan
+	Capability attack.Capability
+
+	// TargetIncreasePercent is the attacker's objective I: raise the
+	// generation cost by at least I% over the attack-free optimum.
+	TargetIncreasePercent float64
+
+	// OperatingDispatch is the pre-attack generation dispatch (the state
+	// the attacker observes). Nil selects the attack-free OPF optimum.
+	OperatingDispatch []float64
+
+	// BlockPrecision quantizes attack vectors for blocking (paper Sec.
+	// IV-A); 0 selects the paper's 2-digit precision (0.01 p.u.).
+	BlockPrecision float64
+
+	// MaxIterations caps the find-verify loop; 0 selects 200.
+	MaxIterations int
+
+	// MaxConflicts bounds SMT effort per query; 0 means unlimited.
+	MaxConflicts int64
+
+	// QueryTimeout bounds wall-clock time per SMT query; 0 means unlimited.
+	// A timed-out query marks the report Canceled rather than erroring.
+	QueryTimeout time.Duration
+
+	// Verify selects the impact-verification backend; 0 selects VerifyLP.
+	Verify VerifyMode
+}
+
+// Report is the outcome of one analysis run.
+type Report struct {
+	BaselineCost float64        // attack-free OPF optimum T0
+	Threshold    float64        // T = T0*(1 + I/100)
+	Found        bool           // an attack reaching the threshold exists
+	Exhausted    bool           // the whole (quantized) attack space was enumerated
+	Canceled     bool           // the SMT conflict budget ran out before a verdict
+	Vector       *attack.Vector // the successful attack, when Found
+	AttackedCost float64        // operator's OPF cost under the attack, when Found (0 under VerifySMT certification)
+	Iterations   int            // attack vectors examined
+
+	AttackSearchTime time.Duration // cumulative attack-model solving time
+	VerifyTime       time.Duration // cumulative OPF verification time
+	Elapsed          time.Duration
+}
+
+// Run executes the Fig. 2 loop.
+func (a *Analyzer) Run() (*Report, error) {
+	start := time.Now()
+	if a.Grid == nil || a.Plan == nil {
+		return nil, fmt.Errorf("%w: grid and plan are required", ErrConfig)
+	}
+	if a.TargetIncreasePercent <= 0 {
+		return nil, fmt.Errorf("%w: target increase must be positive", ErrConfig)
+	}
+	maxIter := a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+
+	trueTopo := a.Grid.TrueTopology()
+	base, err := opf.Solve(a.Grid, trueTopo, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: attack-free OPF: %w", err)
+	}
+	threshold := base.Cost * (1 + a.TargetIncreasePercent/100)
+
+	dispatch := a.OperatingDispatch
+	if dispatch == nil {
+		dispatch = base.Dispatch
+	}
+	pf, err := a.Grid.SolvePowerFlow(trueTopo, dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("core: operating point: %w", err)
+	}
+
+	model, err := attack.NewModel(a.Grid, a.Plan, a.Capability, pf)
+	if err != nil {
+		return nil, err
+	}
+	model.MaxConflicts = a.MaxConflicts
+	model.MaxDuration = a.QueryTimeout
+
+	var fac *dist.Factors
+	if a.Verify == VerifyShift {
+		fac, err = dist.New(a.Grid, trueTopo)
+		if err != nil {
+			return nil, fmt.Errorf("core: shift factors: %w", err)
+		}
+	}
+
+	rep := &Report{BaselineCost: base.Cost, Threshold: threshold}
+	for rep.Iterations < maxIter {
+		t0 := time.Now()
+		v, err := model.FindVector()
+		rep.AttackSearchTime += time.Since(t0)
+		if errors.Is(err, smt.ErrCanceled) {
+			rep.Canceled = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			rep.Exhausted = true
+			break
+		}
+		rep.Iterations++
+
+		t1 := time.Now()
+		cost, reached, err := a.verify(v, fac, threshold)
+		rep.VerifyTime += time.Since(t1)
+		if errors.Is(err, smt.ErrCanceled) {
+			rep.Canceled = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if reached {
+			rep.Found = true
+			rep.Vector = v
+			rep.AttackedCost = cost
+			break
+		}
+		model.Block(v, a.BlockPrecision)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// verify evaluates one candidate vector: the operator reruns OPF on the
+// poisoned topology with the attack's load estimates. An attack succeeds
+// when the resulting minimum cost is at least the threshold while OPF still
+// converges (Eq. 38: the attacker avoids non-convergent outcomes).
+func (a *Analyzer) verify(v *attack.Vector, fac *dist.Factors, threshold float64) (float64, bool, error) {
+	mode := a.Verify
+	if mode == 0 {
+		mode = VerifyLP
+	}
+	switch mode {
+	case VerifyLP:
+		sol, err := opf.Solve(a.Grid, v.MappedTopology, v.ObservedLoads)
+		if errors.Is(err, opf.ErrInfeasible) {
+			return 0, false, nil // Eq. 38: non-convergence is not a success
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		return sol.Cost, sol.Cost >= threshold, nil
+
+	case VerifySMT:
+		// Eq. 37: no dispatch below the threshold...
+		below, _, err := opf.FeasibleWithinTimeout(a.Grid, v.MappedTopology, v.ObservedLoads, threshold, a.MaxConflicts, a.QueryTimeout)
+		if err != nil {
+			return 0, false, err
+		}
+		if below {
+			return 0, false, nil
+		}
+		// ...Eq. 38: but OPF must converge for a generous budget.
+		generous := threshold * 10
+		converges, _, err := opf.FeasibleWithinTimeout(a.Grid, v.MappedTopology, v.ObservedLoads, generous, a.MaxConflicts, a.QueryTimeout)
+		if err != nil {
+			return 0, false, err
+		}
+		return 0, converges, nil
+
+	case VerifyShift:
+		outage := 0
+		if len(v.ExcludedLines) == 1 && len(v.IncludedLines) == 0 {
+			outage = v.ExcludedLines[0]
+		} else if len(v.ExcludedLines) != 0 || len(v.IncludedLines) != 0 {
+			return 0, false, fmt.Errorf("%w: shift-factor verification handles single-line exclusions only", ErrConfig)
+		}
+		sol, err := opf.SolveShift(a.Grid, fac, outage, v.ObservedLoads)
+		if errors.Is(err, opf.ErrInfeasible) {
+			return 0, false, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		return sol.Cost, sol.Cost >= threshold, nil
+
+	default:
+		return 0, false, fmt.Errorf("%w: unknown verify mode %v", ErrConfig, mode)
+	}
+}

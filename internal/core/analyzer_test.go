@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+)
+
+// TestCaseStudy1 reproduces the paper's Case Study 1: a topology-only
+// exclusion of line 6 that raises the OPF cost by at least 3%.
+func TestCaseStudy1(t *testing.T) {
+	g := cases.Paper5Bus()
+	a := &Analyzer{
+		Grid: g,
+		Plan: cases.Paper5PlanCase1(),
+		Capability: attack.Capability{
+			MaxMeasurements:       8,
+			MaxBuses:              3,
+			States:                false,
+			RequireTopologyChange: true,
+		},
+		TargetIncreasePercent: 3,
+		OperatingDispatch:     cases.Paper5OperatingDispatch(),
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Found {
+		t.Fatalf("Case Study 1 attack not found (iterations %d, exhausted %v)", rep.Iterations, rep.Exhausted)
+	}
+	v := rep.Vector
+	if len(v.ExcludedLines) != 1 || v.ExcludedLines[0] != 6 {
+		t.Errorf("excluded = %v, want [6]", v.ExcludedLines)
+	}
+	if !v.TopologyOnly() {
+		t.Errorf("CS1 must not infect states, got %v", v.InfectedStates)
+	}
+	inc := 100 * (rep.AttackedCost - rep.BaselineCost) / rep.BaselineCost
+	if inc < 3 {
+		t.Errorf("cost increase %.2f%%, want >= 3%%", inc)
+	}
+	t.Logf("CS1: baseline %.2f attacked %.2f (+%.2f%%), altered %v, buses %v",
+		rep.BaselineCost, rep.AttackedCost, inc, v.AlteredMeasurements, v.CompromisedBuses)
+}
+
+// TestCaseStudy2 reproduces Case Study 2: topology poisoning strengthened
+// with UFDI state infection reaching at least a 6% increase.
+func TestCaseStudy2(t *testing.T) {
+	g := cases.Paper5Bus()
+	a := &Analyzer{
+		Grid: g,
+		Plan: cases.Paper5PlanCase2(),
+		Capability: attack.Capability{
+			MaxMeasurements:       12,
+			MaxBuses:              3,
+			States:                true,
+			RequireTopologyChange: true,
+		},
+		TargetIncreasePercent: 6,
+		OperatingDispatch:     cases.Paper5OperatingDispatch(),
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Found {
+		t.Fatalf("Case Study 2 attack not found (iterations %d, exhausted %v)", rep.Iterations, rep.Exhausted)
+	}
+	inc := 100 * (rep.AttackedCost - rep.BaselineCost) / rep.BaselineCost
+	if inc < 6 {
+		t.Errorf("cost increase %.2f%%, want >= 6%%", inc)
+	}
+	t.Logf("CS2: baseline %.2f attacked %.2f (+%.2f%%), excl %v, states %v, altered %v",
+		rep.BaselineCost, rep.AttackedCost, inc, rep.Vector.ExcludedLines,
+		rep.Vector.InfectedStates, rep.Vector.AlteredMeasurements)
+}
+
+// TestCaseStudy2TopologyOnlyWeaker mirrors the paper's observation that in
+// the CS2 setting the achievable increase is larger with state infection
+// than without it.
+func TestCaseStudy2TopologyOnlyWeaker(t *testing.T) {
+	g := cases.Paper5Bus()
+	base := Analyzer{
+		Grid:              g,
+		Plan:              cases.Paper5PlanCase2(),
+		OperatingDispatch: cases.Paper5OperatingDispatch(),
+		Capability: attack.Capability{
+			MaxMeasurements:       12,
+			MaxBuses:              3,
+			RequireTopologyChange: true,
+		},
+	}
+	topoOnly := base
+	topoOnly.Capability.States = false
+	maxTopo, err := MaxAchievableIncrease(topoOnly, 0.5, 20, 0.5)
+	if err != nil {
+		t.Fatalf("MaxAchievableIncrease(topo-only): %v", err)
+	}
+	withStates := base
+	withStates.Capability.States = true
+	maxStates, err := MaxAchievableIncrease(withStates, 0.5, 20, 0.5)
+	if err != nil {
+		t.Fatalf("MaxAchievableIncrease(states): %v", err)
+	}
+	if maxStates < maxTopo {
+		t.Errorf("state infection should not weaken the attack: topo-only %.1f%%, with states %.1f%%", maxTopo, maxStates)
+	}
+	t.Logf("max achievable increase: topology-only %.1f%%, with states %.1f%%", maxTopo, maxStates)
+}
+
+func TestUnsatWhenSecured(t *testing.T) {
+	g := cases.Paper5Bus()
+	for i := range g.Lines {
+		g.Lines[i].StatusSecured = true
+	}
+	a := &Analyzer{
+		Grid:                  g,
+		Plan:                  cases.Paper5PlanCase1(),
+		Capability:            attack.Capability{RequireTopologyChange: true},
+		TargetIncreasePercent: 1,
+		OperatingDispatch:     cases.Paper5OperatingDispatch(),
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Found || !rep.Exhausted {
+		t.Errorf("expected exhaustion, got found=%v exhausted=%v", rep.Found, rep.Exhausted)
+	}
+}
+
+func TestUnreachableTargetExhausts(t *testing.T) {
+	g := cases.Paper5Bus()
+	a := &Analyzer{
+		Grid: g,
+		Plan: cases.Paper5PlanCase1(),
+		Capability: attack.Capability{
+			MaxMeasurements:       8,
+			MaxBuses:              3,
+			RequireTopologyChange: true,
+		},
+		TargetIncreasePercent: 50, // far beyond anything achievable
+		OperatingDispatch:     cases.Paper5OperatingDispatch(),
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Found {
+		t.Errorf("a 50%% increase should be unreachable, got %v", rep.Vector)
+	}
+	if !rep.Exhausted {
+		t.Error("the quantized attack space should be exhausted")
+	}
+}
+
+func TestVerifySMTAgreesWithLP(t *testing.T) {
+	g := cases.Paper5Bus()
+	mk := func(mode VerifyMode) *Analyzer {
+		return &Analyzer{
+			Grid: g,
+			Plan: cases.Paper5PlanCase1(),
+			Capability: attack.Capability{
+				MaxMeasurements:       8,
+				MaxBuses:              3,
+				RequireTopologyChange: true,
+			},
+			TargetIncreasePercent: 3,
+			OperatingDispatch:     cases.Paper5OperatingDispatch(),
+			Verify:                mode,
+		}
+	}
+	lpRep, err := mk(VerifyLP).Run()
+	if err != nil {
+		t.Fatalf("LP run: %v", err)
+	}
+	smtRep, err := mk(VerifySMT).Run()
+	if err != nil {
+		t.Fatalf("SMT run: %v", err)
+	}
+	if lpRep.Found != smtRep.Found {
+		t.Errorf("LP found=%v but SMT found=%v", lpRep.Found, smtRep.Found)
+	}
+}
+
+func TestVerifyShiftAgreesWithLP(t *testing.T) {
+	g := cases.Paper5Bus()
+	mk := func(mode VerifyMode) *Analyzer {
+		return &Analyzer{
+			Grid: g,
+			Plan: cases.Paper5PlanCase1(),
+			Capability: attack.Capability{
+				MaxMeasurements:       8,
+				MaxBuses:              3,
+				RequireTopologyChange: true,
+			},
+			TargetIncreasePercent: 3,
+			OperatingDispatch:     cases.Paper5OperatingDispatch(),
+			Verify:                mode,
+		}
+	}
+	lpRep, err := mk(VerifyLP).Run()
+	if err != nil {
+		t.Fatalf("LP run: %v", err)
+	}
+	shiftRep, err := mk(VerifyShift).Run()
+	if err != nil {
+		t.Fatalf("shift run: %v", err)
+	}
+	if lpRep.Found != shiftRep.Found {
+		t.Errorf("LP found=%v but shift-factor found=%v", lpRep.Found, shiftRep.Found)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (&Analyzer{}).Run(); !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig", err)
+	}
+	g := cases.Paper5Bus()
+	a := &Analyzer{Grid: g, Plan: cases.Paper5PlanCase1()}
+	if _, err := a.Run(); !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig for zero target", err)
+	}
+}
+
+func TestScenarioGeneration(t *testing.T) {
+	c, err := cases.ByName("ieee14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario(c, ScenarioConfig{Seed: 7, States: true})
+	if sc.Capability.MaxMeasurements <= 0 || sc.Capability.MaxBuses <= 0 {
+		t.Errorf("capability not set: %+v", sc.Capability)
+	}
+	if !sc.Capability.States {
+		t.Error("states must be enabled")
+	}
+	// Deterministic for a given seed.
+	sc2 := NewScenario(c, ScenarioConfig{Seed: 7, States: true})
+	if sc.Capability != sc2.Capability {
+		t.Error("scenario generation must be deterministic")
+	}
+	// Unsat scenarios secure every line status.
+	un := NewScenario(c, ScenarioConfig{Seed: 7, Unsatisfiable: true})
+	for _, ln := range un.Case.Grid.Lines {
+		if !ln.StatusSecured {
+			t.Fatal("unsat scenario must secure all statuses")
+		}
+	}
+	if an := sc.Analyzer(2); an.TargetIncreasePercent != 2 {
+		t.Error("Analyzer target not applied")
+	}
+}
+
+func TestVerifyModeString(t *testing.T) {
+	for _, m := range []VerifyMode{VerifyLP, VerifySMT, VerifyShift, VerifyMode(9)} {
+		if m.String() == "" {
+			t.Error("empty VerifyMode string")
+		}
+	}
+}

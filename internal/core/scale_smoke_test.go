@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridattack/internal/cases"
+)
+
+func smokeOne(t *testing.T, name string, states bool, target float64) {
+	if testing.Short() && name != "ieee14" {
+		t.Skip("short mode: skipping large-system smoke test")
+	}
+	c, err := cases.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario(c, ScenarioConfig{Seed: 1, States: states})
+	a := sc.Analyzer(target)
+	a.MaxIterations = 3
+	a.MaxConflicts = 500000
+	start := time.Now()
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("%s states=%v: found=%v exhausted=%v iters=%d elapsed=%v (search %v, verify %v)",
+		name, states, rep.Found, rep.Exhausted, rep.Iterations, time.Since(start), rep.AttackSearchTime, rep.VerifyTime)
+}
+
+func TestScaleSmoke14States(t *testing.T)  { smokeOne(t, "ieee14", true, 1.0) }
+func TestScaleSmoke30States(t *testing.T)  { smokeOne(t, "synth30", true, 1.0) }
+func TestScaleSmoke57States(t *testing.T)  { smokeOne(t, "synth57", true, 1.0) }
+func TestScaleSmoke118States(t *testing.T) { smokeOne(t, "synth118", true, 1.0) }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+	"gridattack/internal/measure"
+)
+
+// Scenario is a randomized attack setting for the scalability evaluation
+// (paper Sec. IV: "three experiments taking different random scenarios,
+// especially in terms of the attacker's resource limitation").
+type Scenario struct {
+	Name       string
+	Case       cases.Case
+	Plan       *measure.Plan
+	Capability attack.Capability
+}
+
+// ScenarioConfig controls random scenario generation.
+type ScenarioConfig struct {
+	Seed int64
+	// States enables UFDI state infection.
+	States bool
+	// SecureFraction is the fraction of measurements that are
+	// integrity-protected (default 0.2).
+	SecureFraction float64
+	// Unsatisfiable skews the scenario so no attack can exist (for the
+	// paper's unsat-case timings): every line status is secured.
+	Unsatisfiable bool
+}
+
+// NewScenario derives a randomized scenario from a registry case.
+func NewScenario(c cases.Case, cfg ScenarioConfig) Scenario {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	secureFrac := cfg.SecureFraction
+	if secureFrac <= 0 {
+		secureFrac = 0.2
+	}
+	g := c.Grid.Clone()
+	plan := c.Plan.Clone()
+	for i := 1; i <= plan.M(); i++ {
+		if !plan.Taken[i] {
+			continue
+		}
+		secured := rng.Float64() < secureFrac
+		plan.Secured[i] = secured
+		plan.Accessible[i] = !secured
+	}
+	if cfg.Unsatisfiable {
+		for i := range g.Lines {
+			g.Lines[i].StatusSecured = true
+		}
+	}
+	// Attacker resources scale with system size, as in the paper's inputs.
+	m := plan.M()
+	capability := attack.Capability{
+		MaxMeasurements:       4 + rng.Intn(m/4+1),
+		MaxBuses:              2 + rng.Intn(3),
+		States:                cfg.States,
+		RequireTopologyChange: true,
+	}
+	return Scenario{
+		Name:       fmt.Sprintf("%s-seed%d", g.Name, cfg.Seed),
+		Case:       cases.Case{Grid: g, Plan: plan},
+		Plan:       plan,
+		Capability: capability,
+	}
+}
+
+// Analyzer builds an Analyzer for the scenario with the given target
+// increase.
+func (sc Scenario) Analyzer(targetPercent float64) *Analyzer {
+	return &Analyzer{
+		Grid:                  sc.Case.Grid,
+		Plan:                  sc.Plan,
+		Capability:            sc.Capability,
+		TargetIncreasePercent: targetPercent,
+	}
+}
+
+// MaxAchievableIncrease searches (by bisection on the target percentage)
+// for the largest cost increase any stealthy attack can achieve in the
+// scenario, between lo and hi percent, to within tol percentage points.
+// It reproduces the paper's Case Study 2 analysis ("we cannot increase the
+// cost more than 8%").
+func MaxAchievableIncrease(a Analyzer, lo, hi, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 0.5
+	}
+	achievable := func(target float64) (bool, error) {
+		probe := a
+		probe.TargetIncreasePercent = target
+		rep, err := probe.Run()
+		if err != nil {
+			return false, err
+		}
+		return rep.Found, nil
+	}
+	ok, err := achievable(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // nothing achievable at the lower probe
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := achievable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

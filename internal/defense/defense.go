@@ -1,0 +1,225 @@
+// Package defense synthesizes countermeasures from the impact-analysis
+// framework: the smallest set of protections (line-status integrity and,
+// optionally, measurement integrity) that rules out every stealthy attack
+// above an operator-chosen cost-increase tolerance. This operationalizes the
+// paper's concluding direction ("our framework would ... assist in
+// developing suitable defense strategies") and mirrors the
+// security-architecture synthesis of the authors' companion DSN'14 work.
+//
+// The synthesis is a counterexample-guided minimum-hitting-set loop:
+//
+//  1. run the analyzer; if no attack reaches the tolerance, done;
+//  2. otherwise the found vector names the assets it abuses (tampered line
+//     statuses, altered measurements); at least one of them must be
+//     protected — a hitting-set clause;
+//  3. compute a minimum-cardinality hitting set of all clauses so far (by
+//     probing increasing cardinality bounds with the SMT solver's
+//     sequential-counter encoding), apply it, and repeat.
+//
+// Every iteration adds a clause derived from a real counterexample, so the
+// loop terminates: in the worst case every attackable asset is protected.
+package defense
+
+import (
+	"errors"
+	"fmt"
+
+	"gridattack/internal/core"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/smt"
+)
+
+// ErrSynthesis reports that synthesis could not complete.
+var ErrSynthesis = errors.New("defense: synthesis failed")
+
+// Asset identifies one protectable item.
+type Asset struct {
+	// Line is the 1-based line whose status telemetry to protect, or 0.
+	Line int
+	// Measurement is the 1-based measurement to integrity-protect, or 0.
+	Measurement int
+}
+
+func (a Asset) String() string {
+	if a.Line > 0 {
+		return fmt.Sprintf("line-status:%d", a.Line)
+	}
+	return fmt.Sprintf("measurement:%d", a.Measurement)
+}
+
+// Plan is a synthesized protection set.
+type Plan struct {
+	Assets []Asset
+	// Rounds is the number of counterexample iterations used.
+	Rounds int
+	// Certified reports that the final configuration admits no stealthy
+	// attack reaching the tolerance (the analyzer exhausted the space).
+	Certified bool
+}
+
+// Synthesizer configures countermeasure synthesis.
+type Synthesizer struct {
+	Grid     *grid.Grid
+	Plan     *measure.Plan
+	Analyzer core.Analyzer // template: capability, operating point, etc.
+	// Tolerance is the maximum tolerated stealthy cost increase (%).
+	Tolerance float64
+	// MaxRounds caps counterexample iterations; 0 selects 50.
+	MaxRounds int
+	// ProtectMeasurements enables measurement protections in addition to
+	// line-status protections.
+	ProtectMeasurements bool
+}
+
+// Run synthesizes a minimum-cardinality protection plan.
+func (s *Synthesizer) Run() (*Plan, error) {
+	if s.Grid == nil || s.Plan == nil {
+		return nil, fmt.Errorf("%w: grid and plan required", ErrSynthesis)
+	}
+	if s.Tolerance <= 0 {
+		return nil, fmt.Errorf("%w: tolerance must be positive", ErrSynthesis)
+	}
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 50
+	}
+
+	// Candidate assets, in a fixed order.
+	var candidates []Asset
+	for _, ln := range s.Grid.Lines {
+		if !ln.StatusSecured {
+			candidates = append(candidates, Asset{Line: ln.ID})
+		}
+	}
+	if s.ProtectMeasurements {
+		for i := 1; i <= s.Plan.M(); i++ {
+			if s.Plan.Taken[i] && !s.Plan.Secured[i] {
+				candidates = append(candidates, Asset{Measurement: i})
+			}
+		}
+	}
+	index := make(map[Asset]int, len(candidates))
+	for i, a := range candidates {
+		index[a] = i
+	}
+
+	var clauses [][]int // candidate indices; at least one per clause
+	applied := map[Asset]bool{}
+	for round := 1; round <= maxRounds; round++ {
+		g, plan := s.applyProtections(applied)
+		analyzer := s.Analyzer
+		analyzer.Grid = g
+		analyzer.Plan = plan
+		analyzer.TargetIncreasePercent = s.Tolerance
+		rep, err := analyzer.Run()
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Found {
+			return &Plan{
+				Assets:    sortedAssets(applied, candidates),
+				Rounds:    round,
+				Certified: rep.Exhausted,
+			}, nil
+		}
+
+		// Hitting-set clause: protect at least one asset this attack uses.
+		var clause []int
+		addLine := func(line int) {
+			if i, ok := index[Asset{Line: line}]; ok {
+				clause = append(clause, i)
+			}
+		}
+		for _, line := range rep.Vector.ExcludedLines {
+			addLine(line)
+		}
+		for _, line := range rep.Vector.IncludedLines {
+			addLine(line)
+		}
+		if s.ProtectMeasurements {
+			for _, m := range rep.Vector.AlteredMeasurements {
+				if i, ok := index[Asset{Measurement: m}]; ok {
+					clause = append(clause, i)
+				}
+			}
+		}
+		if len(clause) == 0 {
+			return nil, fmt.Errorf("%w: counterexample uses no protectable asset", ErrSynthesis)
+		}
+		clauses = append(clauses, clause)
+
+		chosen, err := minimumHittingSet(len(candidates), clauses)
+		if err != nil {
+			return nil, err
+		}
+		applied = map[Asset]bool{}
+		for _, ci := range chosen {
+			applied[candidates[ci]] = true
+		}
+	}
+	return nil, fmt.Errorf("%w: no fixpoint within %d rounds", ErrSynthesis, maxRounds)
+}
+
+// minimumHittingSet returns candidate indices forming a minimum-cardinality
+// hitting set of the clauses, found by probing increasing cardinality
+// bounds with the SAT core.
+func minimumHittingSet(nCandidates int, clauses [][]int) ([]int, error) {
+	for k := 1; k <= nCandidates; k++ {
+		s := smt.NewSolver()
+		vars := make([]int, nCandidates)
+		for i := range vars {
+			vars[i] = s.NewBool(fmt.Sprintf("c%d", i))
+		}
+		for _, cl := range clauses {
+			picked := make([]int, len(cl))
+			for i, ci := range cl {
+				picked[i] = vars[ci]
+			}
+			s.AssertAtLeastOne(picked)
+		}
+		s.AssertAtMostK(vars, k)
+		res, err := s.Check()
+		if err != nil {
+			return nil, err
+		}
+		if res != smt.Sat {
+			continue
+		}
+		var out []int
+		for i, v := range vars {
+			if s.BoolValue(v) {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: no hitting set exists", ErrSynthesis)
+}
+
+// applyProtections returns copies of the grid and plan with the given
+// assets protected.
+func (s *Synthesizer) applyProtections(assets map[Asset]bool) (*grid.Grid, *measure.Plan) {
+	g := s.Grid.Clone()
+	plan := s.Plan.Clone()
+	for a := range assets {
+		if a.Line > 0 {
+			g.Lines[a.Line-1].StatusSecured = true
+		}
+		if a.Measurement > 0 {
+			plan.Secured[a.Measurement] = true
+			plan.Accessible[a.Measurement] = false
+		}
+	}
+	return g, plan
+}
+
+func sortedAssets(m map[Asset]bool, order []Asset) []Asset {
+	out := make([]Asset, 0, len(m))
+	for _, a := range order {
+		if m[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

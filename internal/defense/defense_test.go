@@ -1,0 +1,130 @@
+package defense
+
+import (
+	"errors"
+	"testing"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+	"gridattack/internal/core"
+)
+
+func baseSynthesizer() *Synthesizer {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase2()
+	return &Synthesizer{
+		Grid: g,
+		Plan: plan,
+		Analyzer: core.Analyzer{
+			Capability: attack.Capability{
+				MaxMeasurements:       12,
+				MaxBuses:              3,
+				States:                true,
+				RequireTopologyChange: true,
+			},
+			OperatingDispatch: cases.Paper5OperatingDispatch(),
+		},
+		Tolerance: 2,
+	}
+}
+
+func TestSynthesizeLineProtection(t *testing.T) {
+	s := baseSynthesizer()
+	plan, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !plan.Certified {
+		t.Error("plan must be certified by exhaustion")
+	}
+	// On the paper's system, line 6 is the only poisoning vehicle: the
+	// minimal plan protects exactly its status.
+	if len(plan.Assets) != 1 || plan.Assets[0].Line != 6 {
+		t.Errorf("plan = %v, want [line-status:6]", plan.Assets)
+	}
+	t.Logf("synthesized in %d rounds: %v", plan.Rounds, plan.Assets)
+}
+
+// TestSynthesizedPlanActuallyBlocks re-verifies the plan independently: with
+// the protections applied, the analyzer must certify safety at tolerance.
+func TestSynthesizedPlanActuallyBlocks(t *testing.T) {
+	s := baseSynthesizer()
+	plan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Grid.Clone()
+	for _, a := range plan.Assets {
+		if a.Line > 0 {
+			g.Lines[a.Line-1].StatusSecured = true
+		}
+	}
+	analyzer := s.Analyzer
+	analyzer.Grid = g
+	analyzer.Plan = s.Plan
+	analyzer.TargetIncreasePercent = s.Tolerance
+	rep, err := analyzer.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Found {
+		t.Errorf("protected grid still attackable: %v", rep.Vector)
+	}
+}
+
+func TestSynthesizeWithMeasurementProtections(t *testing.T) {
+	s := baseSynthesizer()
+	s.ProtectMeasurements = true
+	plan, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(plan.Assets) == 0 {
+		// A zero-asset plan is only valid if no attack existed at all.
+		if plan.Rounds != 1 {
+			t.Error("empty plan after counterexamples")
+		}
+	}
+	if len(plan.Assets) > 2 {
+		t.Errorf("plan %v larger than expected for the 5-bus system", plan.Assets)
+	}
+}
+
+func TestSynthesizerValidation(t *testing.T) {
+	if _, err := (&Synthesizer{}).Run(); !errors.Is(err, ErrSynthesis) {
+		t.Errorf("err = %v, want ErrSynthesis", err)
+	}
+	s := baseSynthesizer()
+	s.Tolerance = 0
+	if _, err := s.Run(); !errors.Is(err, ErrSynthesis) {
+		t.Errorf("err = %v, want ErrSynthesis for zero tolerance", err)
+	}
+}
+
+func TestAssetString(t *testing.T) {
+	if (Asset{Line: 3}).String() != "line-status:3" {
+		t.Error("line asset string wrong")
+	}
+	if (Asset{Measurement: 7}).String() != "measurement:7" {
+		t.Error("measurement asset string wrong")
+	}
+}
+
+func TestMinimumHittingSet(t *testing.T) {
+	// Clauses {0,1}, {1,2}: {1} is the unique minimum hitting set.
+	hs, err := minimumHittingSet(3, [][]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 || hs[0] != 1 {
+		t.Errorf("hitting set = %v, want [1]", hs)
+	}
+	// Disjoint clauses {0}, {2}: need both.
+	hs, err = minimumHittingSet(3, [][]int{{0}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 {
+		t.Errorf("hitting set = %v, want 2 elements", hs)
+	}
+}

@@ -1,0 +1,164 @@
+// Package dist computes linear distribution factors for the DC network
+// model: PTDF (power transfer distribution factors / generation shift
+// factors), LODF (line outage distribution factors), and LCDF (line closure
+// distribution factors). The paper's scalability optimization (Sec. IV-A)
+// replaces the angle-based OPF constraints with shift factors and uses
+// LODF/LCDF to handle single-line exclusion/inclusion attacks without
+// rebuilding the network model.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/linalg"
+)
+
+// ErrRadial indicates a factor is undefined because the operation would
+// disconnect the network (outage of a radial line) or the line pair is
+// degenerate.
+var ErrRadial = errors.New("dist: factor undefined (network would split)")
+
+// Factors holds the PTDF matrix for one grid and topology.
+type Factors struct {
+	grid *grid.Grid
+	topo grid.Topology
+	// ptdf[i][j] is the change of flow on line i per unit injection at bus
+	// j+1 (withdrawn at the reference bus).
+	ptdf *linalg.Matrix
+}
+
+// New computes PTDFs for the grid under the given topology.
+func New(g *grid.Grid, t grid.Topology) (*Factors, error) {
+	if !g.Connected(t) {
+		return nil, fmt.Errorf("dist: %w", ErrRadial)
+	}
+	bm := g.BMatrix(t)
+	binv, err := linalg.Inverse(bm)
+	if err != nil {
+		return nil, fmt.Errorf("dist: B matrix inversion: %w", err)
+	}
+	b := g.NumBuses()
+	l := g.NumLines()
+	// Reduced index map.
+	idx := make([]int, b+1)
+	ri := 0
+	for _, bus := range g.Buses {
+		if bus.ID == g.RefBus {
+			idx[bus.ID] = -1
+			continue
+		}
+		idx[bus.ID] = ri
+		ri++
+	}
+	ptdf := linalg.NewMatrix(l, b)
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		fi, ti := idx[ln.From], idx[ln.To]
+		for j := 1; j <= b; j++ {
+			ji := idx[j]
+			if ji < 0 {
+				continue // injection at reference: zero by definition
+			}
+			var xf, xt float64
+			if fi >= 0 {
+				xf = binv.At(fi, ji)
+			}
+			if ti >= 0 {
+				xt = binv.At(ti, ji)
+			}
+			ptdf.Set(ln.ID-1, j-1, ln.Admittance*(xf-xt))
+		}
+	}
+	return &Factors{grid: g, topo: t, ptdf: ptdf}, nil
+}
+
+// PTDF returns the sensitivity of line's flow to a unit injection at bus
+// (withdrawn at the reference bus).
+func (f *Factors) PTDF(line, bus int) float64 {
+	return f.ptdf.At(line-1, bus-1)
+}
+
+// Flows computes all line flows from net bus injections via the PTDF matrix.
+func (f *Factors) Flows(injections []float64) ([]float64, error) {
+	if len(injections) != f.grid.NumBuses() {
+		return nil, fmt.Errorf("dist: injection vector length %d, want %d", len(injections), f.grid.NumBuses())
+	}
+	return f.ptdf.MulVec(injections)
+}
+
+// LODF returns the line outage distribution factor: the fraction of the
+// pre-outage flow of `outaged` that appears on `monitored` after `outaged`
+// opens. Both lines must be in the topology.
+func (f *Factors) LODF(monitored, outaged int) (float64, error) {
+	if monitored == outaged {
+		return -1, nil // by convention the outaged line loses all its flow
+	}
+	if !f.topo.Contains(monitored) || !f.topo.Contains(outaged) {
+		return 0, fmt.Errorf("dist: LODF of lines outside the topology")
+	}
+	lnO := f.grid.Lines[outaged-1]
+	// PTDF of a transfer from the outaged line's from-bus to its to-bus.
+	ptdfMon := f.PTDF(monitored, lnO.From) - f.PTDF(monitored, lnO.To)
+	ptdfOut := f.PTDF(outaged, lnO.From) - f.PTDF(outaged, lnO.To)
+	den := 1 - ptdfOut
+	if math.Abs(den) < 1e-9 {
+		return 0, ErrRadial
+	}
+	return ptdfMon / den, nil
+}
+
+// FlowsAfterOutage returns post-outage line flows given pre-outage flows,
+// using LODFs (outaged line's flow redistributes over the rest).
+func (f *Factors) FlowsAfterOutage(pre []float64, outaged int) ([]float64, error) {
+	if len(pre) != f.grid.NumLines() {
+		return nil, fmt.Errorf("dist: flow vector length %d, want %d", len(pre), f.grid.NumLines())
+	}
+	out := make([]float64, len(pre))
+	for _, ln := range f.grid.Lines {
+		if ln.ID == outaged {
+			out[ln.ID-1] = 0
+			continue
+		}
+		if !f.topo.Contains(ln.ID) {
+			continue
+		}
+		lodf, err := f.LODF(ln.ID, outaged)
+		if err != nil {
+			return nil, err
+		}
+		out[ln.ID-1] = pre[ln.ID-1] + lodf*pre[outaged-1]
+	}
+	return out, nil
+}
+
+// LCDF returns the line closure distribution factor for closing line
+// `closed` (currently open): the change of flow on `monitored` per unit of
+// post-closure flow on `closed`. Following Sauer et al.'s extended factors,
+// closing is the dual of an outage computed on the topology that includes
+// the line.
+func LCDF(g *grid.Grid, t grid.Topology, monitored, closed int) (float64, error) {
+	if t.Contains(closed) {
+		return 0, fmt.Errorf("dist: line %d already closed", closed)
+	}
+	withLine := t.WithIncluded(closed)
+	fac, err := New(g, withLine)
+	if err != nil {
+		return 0, err
+	}
+	if monitored == closed {
+		return 1, nil
+	}
+	// The closure of the line injects its flow at the receiving bus and
+	// withdraws at the sending bus relative to the pre-closure network; on
+	// the post-closure network the monitored line picks up -LODF of it.
+	lodf, err := fac.LODF(monitored, closed)
+	if err != nil {
+		return 0, err
+	}
+	return -lodf, nil
+}

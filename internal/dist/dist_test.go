@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/grid"
+)
+
+func TestPTDFMatchesPowerFlow(t *testing.T) {
+	g := cases.Paper5Bus()
+	top := g.TrueTopology()
+	f, err := New(g, top)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Flows via PTDF must equal flows via the angle solve for any balanced
+	// injection vector.
+	inj := []float64{0.53, -0.11, 0.26, -0.18, -0.50}
+	viaPTDF, err := f.Flows(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := g.SolvePowerFlowInjections(top, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaPTDF {
+		if math.Abs(viaPTDF[i]-pf.LineFlow[i]) > 1e-9 {
+			t.Errorf("line %d: PTDF flow %v != PF flow %v", i+1, viaPTDF[i], pf.LineFlow[i])
+		}
+	}
+}
+
+func TestPTDFReferenceBusColumnZero(t *testing.T) {
+	g := cases.IEEE14Bus()
+	f, err := New(g, g.TrueTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for line := 1; line <= g.NumLines(); line++ {
+		if v := f.PTDF(line, g.RefBus); v != 0 {
+			t.Errorf("PTDF(line %d, ref) = %v, want 0", line, v)
+		}
+	}
+}
+
+func TestLODFAgainstExactOutage(t *testing.T) {
+	g := cases.IEEE14Bus()
+	top := g.TrueTopology()
+	f, err := New(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced injections from a simple dispatch.
+	total := g.TotalLoad()
+	gen := make([]float64, g.NumBuses())
+	gen[0] = total
+	pf, err := g.SolvePowerFlow(top, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Try outages of a few non-radial lines; LODF-predicted flows must match
+	// the exact re-solve.
+	for _, outage := range []int{3, 6, 9} {
+		after := top.WithExcluded(outage)
+		if !g.Connected(after) {
+			continue
+		}
+		exact, err := g.SolvePowerFlowInjections(after, pf.Injection)
+		if err != nil {
+			t.Fatalf("outage %d: %v", outage, err)
+		}
+		approx, err := f.FlowsAfterOutage(pf.LineFlow, outage)
+		if err != nil {
+			t.Fatalf("outage %d: %v", outage, err)
+		}
+		for i := range approx {
+			if math.Abs(approx[i]-exact.LineFlow[i]) > 1e-7 {
+				t.Errorf("outage %d line %d: LODF %v != exact %v", outage, i+1, approx[i], exact.LineFlow[i])
+			}
+		}
+	}
+}
+
+func TestLODFSelf(t *testing.T) {
+	g := cases.Paper5Bus()
+	f, err := New(g, g.TrueTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.LODF(3, 3)
+	if err != nil || v != -1 {
+		t.Errorf("LODF(self) = %v, %v; want -1, nil", v, err)
+	}
+}
+
+func TestLODFOutsideTopology(t *testing.T) {
+	g := cases.Paper5Bus()
+	top := g.TrueTopology().WithExcluded(6)
+	f, err := New(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LODF(1, 6); err == nil {
+		t.Error("LODF of excluded line must error")
+	}
+}
+
+func TestLCDFMatchesExactClosure(t *testing.T) {
+	g := cases.IEEE14Bus()
+	// Open line 6 (3-4, non-radial), then evaluate closing it again.
+	open := 6
+	top := g.TrueTopology().WithExcluded(open)
+	if !g.Connected(top) {
+		t.Skip("line 6 radial in this system")
+	}
+	total := g.TotalLoad()
+	gen := make([]float64, g.NumBuses())
+	gen[0] = total
+	pre, err := g.SolvePowerFlow(top, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := g.SolvePowerFlowInjections(g.TrueTopology(), pre.Injection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowClosed := post.LineFlow[open-1]
+	for line := 1; line <= g.NumLines(); line++ {
+		lcdf, err := LCDF(g, top, line, open)
+		if err != nil {
+			t.Fatalf("LCDF(%d, %d): %v", line, open, err)
+		}
+		want := post.LineFlow[line-1]
+		got := pre.LineFlow[line-1] + lcdf*flowClosed
+		if line == open {
+			got = lcdf * flowClosed
+		}
+		if math.Abs(got-want) > 1e-7 {
+			t.Errorf("line %d: LCDF prediction %v != exact %v", line, got, want)
+		}
+	}
+}
+
+func TestLCDFAlreadyClosed(t *testing.T) {
+	g := cases.Paper5Bus()
+	if _, err := LCDF(g, g.TrueTopology(), 1, 6); err == nil {
+		t.Error("LCDF of an already-closed line must error")
+	}
+}
+
+func TestNewDisconnected(t *testing.T) {
+	g := cases.Paper5Bus()
+	if _, err := New(g, grid.NewTopology([]int{1})); err == nil {
+		t.Error("New on disconnected topology must error")
+	}
+}
+
+// Property: FlowsAfterOutage conserves power balance — post-outage flows
+// reproduce the same bus consumptions (exact LODF identity) for random
+// injections on the paper's 5-bus system.
+func TestLODFConsumptionInvariant(t *testing.T) {
+	g := cases.Paper5Bus()
+	top := g.TrueTopology()
+	f, err := New(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inj := make([]float64, g.NumBuses())
+		var sum float64
+		for i := 1; i < len(inj); i++ {
+			inj[i] = rng.NormFloat64() * 0.2
+			sum += inj[i]
+		}
+		inj[0] = -sum
+		pf, err := g.SolvePowerFlowInjections(top, inj)
+		if err != nil {
+			return false
+		}
+		outage := 6 // non-core line; network stays connected
+		after, err := f.FlowsAfterOutage(pf.LineFlow, outage)
+		if err != nil {
+			return false
+		}
+		afterTopo := top.WithExcluded(outage)
+		cons, err := g.ConsumptionFromFlows(afterTopo, after)
+		if err != nil {
+			return false
+		}
+		for i := range cons {
+			if math.Abs(cons[i]+inj[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package ems
+
+import (
+	"fmt"
+
+	"gridattack/internal/grid"
+)
+
+// AGC models the automatic generation control loop that ramps each
+// generator's output toward the OPF set-point, subject to per-step ramp
+// limits (paper Fig. 1: OPF feeds set-points to AGC, which drives the
+// machines).
+type AGC struct {
+	grid *grid.Grid
+	// RampLimit is the maximum per-step output change of any generator in
+	// p.u.; 0 selects 0.05.
+	RampLimit float64
+}
+
+// NewAGC returns an AGC for the grid.
+func NewAGC(g *grid.Grid) *AGC {
+	return &AGC{grid: g}
+}
+
+// Step moves the current dispatch one control step toward the set-points,
+// respecting ramp and capacity limits, and returns the new dispatch.
+func (a *AGC) Step(current, setpoint []float64) ([]float64, error) {
+	if len(current) != a.grid.NumBuses() || len(setpoint) != a.grid.NumBuses() {
+		return nil, fmt.Errorf("ems: AGC vectors must have %d entries", a.grid.NumBuses())
+	}
+	ramp := a.RampLimit
+	if ramp <= 0 {
+		ramp = 0.05
+	}
+	next := append([]float64(nil), current...)
+	for _, gen := range a.grid.Generators {
+		j := gen.Bus - 1
+		delta := setpoint[j] - current[j]
+		if delta > ramp {
+			delta = ramp
+		}
+		if delta < -ramp {
+			delta = -ramp
+		}
+		v := current[j] + delta
+		if v > gen.MaxP {
+			v = gen.MaxP
+		}
+		if v < gen.MinP {
+			v = gen.MinP
+		}
+		next[j] = v
+	}
+	return next, nil
+}
+
+// Converged reports whether the dispatch has reached the set-points within
+// tol.
+func (a *AGC) Converged(current, setpoint []float64, tol float64) bool {
+	for _, gen := range a.grid.Generators {
+		j := gen.Bus - 1
+		d := current[j] - setpoint[j]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Trajectory simulates AGC until convergence or maxSteps, returning the
+// dispatch after each step (the first element is the starting dispatch).
+func (a *AGC) Trajectory(start, setpoint []float64, maxSteps int) ([][]float64, error) {
+	out := [][]float64{append([]float64(nil), start...)}
+	cur := start
+	for step := 0; step < maxSteps; step++ {
+		next, err := a.Step(cur, setpoint)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		cur = next
+		if a.Converged(cur, setpoint, 1e-9) {
+			break
+		}
+	}
+	return out, nil
+}

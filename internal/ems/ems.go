@@ -1,0 +1,96 @@
+// Package ems wires the control-center modules of the paper's Fig. 1 into a
+// pipeline: telemetry -> topology processor -> state estimator (with
+// bad-data detection) -> optimal power flow -> AGC generation set-points.
+// It is the "operator side" against which the attack's economic impact is
+// measured end to end.
+package ems
+
+import (
+	"errors"
+	"fmt"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/opf"
+	"gridattack/internal/se"
+	"gridattack/internal/topo"
+)
+
+// ErrBadData is returned by RunCycle when bad-data detection fires; the
+// operator would discard the telemetry and keep the previous dispatch.
+var ErrBadData = errors.New("ems: bad data detected, cycle aborted")
+
+// Pipeline is one EMS instance.
+type Pipeline struct {
+	Grid *grid.Grid
+	Plan *measure.Plan
+	// ResidualThreshold configures bad-data detection (0: chi-square test).
+	ResidualThreshold float64
+}
+
+// NewPipeline returns an EMS for the grid and measurement plan.
+func NewPipeline(g *grid.Grid, plan *measure.Plan) *Pipeline {
+	return &Pipeline{Grid: g, Plan: plan}
+}
+
+// CycleResult is the outcome of one EMS cycle.
+type CycleResult struct {
+	Topology      grid.Topology // as mapped by the topology processor
+	Estimate      *se.Result    // state estimation output
+	LoadEstimates []float64     // per-bus load picture fed to OPF
+	Dispatch      *opf.Solution // OPF result: new generation set-points
+}
+
+// RunCycle executes one full EMS cycle. currentDispatch is the generation
+// currently on the machines (known from secure generator telemetry); it is
+// used to separate load from generation in the estimated bus consumptions.
+func (p *Pipeline) RunCycle(z *measure.Vector, report *topo.Report, currentDispatch []float64) (*CycleResult, error) {
+	if len(currentDispatch) != p.Grid.NumBuses() {
+		return nil, fmt.Errorf("ems: dispatch vector length %d, want %d", len(currentDispatch), p.Grid.NumBuses())
+	}
+	proc := topo.NewProcessor(p.Grid)
+	mapped, err := proc.Map(report)
+	if err != nil {
+		return nil, fmt.Errorf("ems: topology processing: %w", err)
+	}
+	est := se.NewEstimator(p.Grid, p.Plan)
+	est.Threshold = p.ResidualThreshold
+	res, err := est.Estimate(mapped, z)
+	if err != nil {
+		return nil, fmt.Errorf("ems: state estimation: %w", err)
+	}
+	if res.BadData {
+		return nil, fmt.Errorf("%w (residual %.6f, suspect measurement %d)",
+			ErrBadData, res.Residual, res.SuspectMeasurement)
+	}
+	// Loads = estimated consumption + known generation (paper Sec. III-E:
+	// generation measurements are secure, so consumption changes are load
+	// changes).
+	loads := make([]float64, p.Grid.NumBuses())
+	for j := range loads {
+		loads[j] = res.LoadEstimate[j] + currentDispatch[j]
+		if loads[j] < 0 && loads[j] > -1e-9 {
+			loads[j] = 0
+		}
+	}
+	sol, err := opf.Solve(p.Grid, mapped, loads)
+	if err != nil {
+		return nil, fmt.Errorf("ems: OPF: %w", err)
+	}
+	return &CycleResult{
+		Topology:      mapped,
+		Estimate:      res,
+		LoadEstimates: loads,
+		Dispatch:      sol,
+	}, nil
+}
+
+// TrueCost evaluates what the operator actually pays when running the given
+// dispatch: the sum of each generator's cost function at its output.
+func (p *Pipeline) TrueCost(dispatch []float64) float64 {
+	var total float64
+	for _, gen := range p.Grid.Generators {
+		total += gen.Cost(dispatch[gen.Bus-1])
+	}
+	return total
+}

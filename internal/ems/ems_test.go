@@ -1,0 +1,182 @@
+package ems
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/topo"
+)
+
+func operatingPoint(t *testing.T) (*grid.Grid, *measure.Plan, []float64, *grid.PowerFlow) {
+	t.Helper()
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	dispatch := cases.Paper5OperatingDispatch()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, plan, dispatch, pf
+}
+
+func TestHonestCycle(t *testing.T) {
+	g, plan, dispatch, pf := operatingPoint(t)
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(g, plan)
+	res, err := p.RunCycle(z, topo.TrueReport(g), dispatch)
+	if err != nil {
+		t.Fatalf("RunCycle: %v", err)
+	}
+	// The operator's load picture matches the true loads.
+	for _, ld := range g.Loads {
+		if math.Abs(res.LoadEstimates[ld.Bus-1]-ld.P) > 1e-7 {
+			t.Errorf("bus %d load estimate %v, want %v", ld.Bus, res.LoadEstimates[ld.Bus-1], ld.P)
+		}
+	}
+	// OPF under honest telemetry gives the true optimum.
+	if res.Dispatch.Cost > 1374 || res.Dispatch.Cost < 1373 {
+		t.Errorf("honest OPF cost %v, want ~1373.57", res.Dispatch.Cost)
+	}
+}
+
+func TestAttackedCycleCostsMore(t *testing.T) {
+	g, plan, dispatch, pf := operatingPoint(t)
+	model, err := attack.NewModel(g, plan, attack.Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := model.FindVector()
+	if err != nil || v == nil {
+		t.Fatalf("attack vector: %v %v", v, err)
+	}
+	z, err := attack.BuildAttackedMeasurements(g, plan, pf, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := topo.TrueReport(g)
+	for _, line := range v.ExcludedLines {
+		if err := report.Tamper(g, line, false); err != nil {
+			t.Fatalf("tamper: %v", err)
+		}
+	}
+	p := NewPipeline(g, plan)
+	p.ResidualThreshold = 1e-6
+	attacked, err := p.RunCycle(z, report, dispatch)
+	if err != nil {
+		t.Fatalf("attacked cycle: %v", err)
+	}
+	honestZ, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := p.RunCycle(honestZ, topo.TrueReport(g), dispatch)
+	if err != nil {
+		t.Fatalf("honest cycle: %v", err)
+	}
+	if attacked.Dispatch.Cost <= honest.Dispatch.Cost {
+		t.Errorf("attack should raise the OPF cost: honest %v, attacked %v",
+			honest.Dispatch.Cost, attacked.Dispatch.Cost)
+	}
+	inc := 100 * (attacked.Dispatch.Cost - honest.Dispatch.Cost) / honest.Dispatch.Cost
+	t.Logf("EMS cycle cost: honest %.2f, attacked %.2f (+%.2f%%)", honest.Dispatch.Cost, attacked.Dispatch.Cost, inc)
+}
+
+func TestGrossErrorAbortsCycle(t *testing.T) {
+	g, plan, dispatch, pf := operatingPoint(t)
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.Values[6] += 1.0 // crude, non-stealthy injection
+	p := NewPipeline(g, plan)
+	p.ResidualThreshold = 0.05
+	_, err = p.RunCycle(z, topo.TrueReport(g), dispatch)
+	if !errors.Is(err, ErrBadData) {
+		t.Fatalf("err = %v, want ErrBadData", err)
+	}
+}
+
+func TestRunCycleBadInputs(t *testing.T) {
+	g, plan, _, pf := operatingPoint(t)
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(g, plan)
+	if _, err := p.RunCycle(z, topo.TrueReport(g), []float64{1}); err == nil {
+		t.Error("want error for short dispatch vector")
+	}
+}
+
+func TestTrueCost(t *testing.T) {
+	g, plan, _, _ := operatingPoint(t)
+	p := NewPipeline(g, plan)
+	d := cases.Paper5OperatingDispatch()
+	want := 60 + 1800*d[0] + 50 + 2200*d[1] + 60 + 1000*d[2]
+	if got := p.TrueCost(d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TrueCost = %v, want %v", got, want)
+	}
+}
+
+func TestAGCStepAndConvergence(t *testing.T) {
+	g := cases.Paper5Bus()
+	a := NewAGC(g)
+	a.RampLimit = 0.05
+	start := []float64{0.47, 0.11, 0.25, 0, 0}
+	target := []float64{0.30, 0.20, 0.33, 0, 0}
+	next, err := a.Step(start, target)
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	// Each generator moves at most the ramp limit toward the target.
+	if math.Abs(next[0]-0.42) > 1e-12 {
+		t.Errorf("gen1 = %v, want 0.42 (ramp-limited)", next[0])
+	}
+	if math.Abs(next[1]-0.16) > 1e-12 {
+		t.Errorf("gen2 = %v, want 0.16", next[1])
+	}
+	traj, err := a.Trajectory(start, target, 50)
+	if err != nil {
+		t.Fatalf("Trajectory: %v", err)
+	}
+	final := traj[len(traj)-1]
+	if !a.Converged(final, target, 1e-9) {
+		t.Errorf("AGC did not converge: %v", final)
+	}
+	// Ramp limit respected along the whole trajectory.
+	for s := 1; s < len(traj); s++ {
+		for j := range traj[s] {
+			if d := math.Abs(traj[s][j] - traj[s-1][j]); d > 0.05+1e-12 {
+				t.Errorf("step %d bus %d moved %v > ramp", s, j+1, d)
+			}
+		}
+	}
+}
+
+func TestAGCCapacityClamp(t *testing.T) {
+	g := cases.Paper5Bus()
+	a := NewAGC(g)
+	a.RampLimit = 10 // effectively unlimited ramp
+	start := []float64{0.47, 0.11, 0.25, 0, 0}
+	target := []float64{5, 5, 5, 0, 0} // beyond capacity
+	next, err := a.Step(start, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0] > 0.80+1e-12 || next[1] > 0.60+1e-12 || next[2] > 0.50+1e-12 {
+		t.Errorf("capacity limits violated: %v", next)
+	}
+	if _, err := a.Step([]float64{1}, target); err == nil {
+		t.Error("want error for short vectors")
+	}
+}

@@ -1,0 +1,119 @@
+package ems
+
+import (
+	"math"
+	"testing"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+	"gridattack/internal/topo"
+)
+
+// TestLongitudinalAttack simulates several EMS cycles: the system starts at
+// the case-study operating point, converges to the honest optimum, then the
+// attacker strikes and the dispatch silently drifts to the expensive
+// poisoned optimum — while bad-data detection stays quiet throughout.
+func TestLongitudinalAttack(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pipeline := NewPipeline(g, plan)
+	pipeline.ResidualThreshold = 1e-6
+	agc := NewAGC(g)
+	agc.RampLimit = 0.03
+
+	dispatch := cases.Paper5OperatingDispatch()
+	pf0, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0, err := plan.FromPowerFlow(g, pf0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := pipeline.RunCycle(z0, topo.TrueReport(g), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestCost := honest.Dispatch.Cost
+
+	var costs []float64
+	attackAt := 1
+	var vector *attack.Vector
+	for cycle := 0; cycle < 6; cycle++ {
+		// Mid-ramp the AGC dispatch is slightly imbalanced; the reference
+		// (slack) bus absorbs the residual, as in a real system.
+		loads := g.LoadVector()
+		inj := make([]float64, g.NumBuses())
+		var resid float64
+		for j := range inj {
+			inj[j] = dispatch[j] - loads[j]
+			resid += inj[j]
+		}
+		inj[g.RefBus-1] -= resid
+		pf, err := g.SolvePowerFlowInjections(g.TrueTopology(), inj)
+		if err != nil {
+			t.Fatalf("cycle %d power flow: %v", cycle, err)
+		}
+		z, err := plan.FromPowerFlow(g, pf, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report := topo.TrueReport(g)
+
+		if cycle >= attackAt {
+			// An adaptive attacker recomputes the false-data overlay at
+			// every cycle: the measurement deltas depend on the *current*
+			// flows, so a stale vector replayed at a moved operating point
+			// leaves a visible residual (~1e-2 here) and trips detection.
+			model, err := attack.NewModel(g, plan, attack.Capability{
+				MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+			}, pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vector, err = model.FindVector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vector == nil {
+				t.Logf("cycle %d: operating point offers no stealthy vector; attacker pauses", cycle)
+			}
+		}
+		if cycle >= attackAt && vector != nil {
+			var err error
+			z, err = attack.BuildAttackedMeasurements(g, plan, pf, vector)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range vector.ExcludedLines {
+				if err := report.Tamper(g, line, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		res, err := pipeline.RunCycle(z, report, dispatch)
+		if err != nil {
+			t.Fatalf("cycle %d: %v (attack must stay stealthy)", cycle, err)
+		}
+		costs = append(costs, res.Dispatch.Cost)
+		next, err := agc.Step(dispatch, res.Dispatch.Dispatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dispatch = next
+	}
+
+	// The pre-attack cycle already quotes the honest optimum (OPF is a
+	// set-point computation; AGC ramps toward it over later cycles).
+	if math.Abs(costs[0]-honestCost) > 1 {
+		t.Errorf("pre-attack cost %v, want ~%v", costs[0], honestCost)
+	}
+	if vector != nil {
+		last := costs[len(costs)-1]
+		if last <= honestCost {
+			t.Errorf("post-attack cost %v should exceed honest %v", last, honestCost)
+		}
+		t.Logf("cost trajectory: %v (honest %v)", costs, honestCost)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+)
+
+var smallCases = []string{"paper5", "ieee14"}
+
+func TestRunImpactSweepSmall(t *testing.T) {
+	rows, err := RunImpactSweep(SweepConfig{Cases: smallCases, Scenarios: 2})
+	if err != nil {
+		t.Fatalf("RunImpactSweep: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Elapsed <= 0 {
+			t.Errorf("%s scenario %d: non-positive elapsed", r.Case, r.Scenario)
+		}
+		if r.Buses != 5 && r.Buses != 14 {
+			t.Errorf("unexpected bus count %d", r.Buses)
+		}
+	}
+}
+
+func TestRunImpactSweepUnknownCase(t *testing.T) {
+	if _, err := RunImpactSweep(SweepConfig{Cases: []string{"nope"}}); err == nil {
+		t.Fatal("want error for unknown case")
+	}
+}
+
+func TestRunOPFModelSmall(t *testing.T) {
+	rows, err := RunOPFModel(smallCases, []float64{0.99, 1.1}, 0)
+	if err != nil {
+		t.Fatalf("RunOPFModel: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// Below the optimum must be infeasible; 10% above feasible.
+		if r.Tightness < 1 && r.Feasible {
+			t.Errorf("%s tightness %v: feasible below the optimum", r.Case, r.Tightness)
+		}
+		if r.Tightness > 1 && !r.Feasible {
+			t.Errorf("%s tightness %v: infeasible above the optimum", r.Case, r.Tightness)
+		}
+	}
+}
+
+func TestRunAttackModelSmall(t *testing.T) {
+	rows, err := RunAttackModel(smallCases, 2, false, false, 0)
+	if err != nil {
+		t.Fatalf("RunAttackModel: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Unsat variant: securing all statuses refutes every topology attack.
+	unsat, err := RunAttackModel(smallCases, 1, false, true, 0)
+	if err != nil {
+		t.Fatalf("RunAttackModel(unsat): %v", err)
+	}
+	for _, r := range unsat {
+		if r.Found {
+			t.Errorf("%s: attack found in unsat scenario", r.Case)
+		}
+	}
+}
+
+func TestRunMemorySmall(t *testing.T) {
+	rows, err := RunMemory([]string{"paper5"}, 0)
+	if err != nil {
+		t.Fatalf("RunMemory: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0].AttackModel <= 0 || rows[0].OPFModel <= 0 {
+		t.Errorf("memory must be positive: %+v", rows[0])
+	}
+}
+
+func TestAllocMB(t *testing.T) {
+	mb, err := allocMB(func() error {
+		_ = make([]byte, 8<<20)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb < 7 {
+		t.Errorf("allocMB = %v, want >= ~8", mb)
+	}
+}

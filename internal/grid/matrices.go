@@ -1,0 +1,134 @@
+package grid
+
+import (
+	"fmt"
+
+	"gridattack/internal/linalg"
+)
+
+// ConnectivityMatrix returns the l x b line-bus incidence matrix A for the
+// given topology: row i has +1 at the from-bus and -1 at the to-bus of line
+// i when the line is mapped as closed, and zeros otherwise.
+func (g *Grid) ConnectivityMatrix(t Topology) *linalg.Matrix {
+	a := linalg.NewMatrix(len(g.Lines), len(g.Buses))
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		a.Set(ln.ID-1, ln.From-1, 1)
+		a.Set(ln.ID-1, ln.To-1, -1)
+	}
+	return a
+}
+
+// AdmittanceMatrix returns the l x l diagonal branch admittance matrix D.
+func (g *Grid) AdmittanceMatrix() *linalg.Matrix {
+	d := linalg.NewMatrix(len(g.Lines), len(g.Lines))
+	for _, ln := range g.Lines {
+		d.Set(ln.ID-1, ln.ID-1, ln.Admittance)
+	}
+	return d
+}
+
+// MeasurementMatrix returns the full m x b measurement matrix H of paper
+// Eq. (2):
+//
+//	H = [ D*A ; -D*A ; A^T*D*A ]
+//
+// Rows 1..l are forward line-flow measurements, rows l+1..2l backward
+// line-flow measurements, and rows 2l+1..2l+b bus power consumptions. Note
+// the paper's bus-consumption sign convention (Eq. 8): consumption at bus j
+// is the sum of incoming flows minus outgoing flows, which equals the j-th
+// row of -A^T*D*A applied to theta; we follow Eq. (2) literally and keep the
+// A^T*D*A block, with consumption semantics handled by callers.
+func (g *Grid) MeasurementMatrix(t Topology) (*linalg.Matrix, error) {
+	a := g.ConnectivityMatrix(t)
+	d := g.AdmittanceMatrix()
+	da, err := d.Mul(a)
+	if err != nil {
+		return nil, fmt.Errorf("grid: D*A: %w", err)
+	}
+	atda, err := a.Transpose().Mul(da)
+	if err != nil {
+		return nil, fmt.Errorf("grid: A^T*D*A: %w", err)
+	}
+	l, b := len(g.Lines), len(g.Buses)
+	h := linalg.NewMatrix(2*l+b, b)
+	for i := 0; i < l; i++ {
+		for j := 0; j < b; j++ {
+			h.Set(i, j, da.At(i, j))
+			h.Set(l+i, j, -da.At(i, j))
+		}
+	}
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			h.Set(2*l+i, j, atda.At(i, j))
+		}
+	}
+	return h, nil
+}
+
+// ReducedMeasurementMatrix returns H with the reference-bus column removed,
+// which is the observable form used by the state estimator (the reference
+// angle is fixed at zero).
+func (g *Grid) ReducedMeasurementMatrix(t Topology) (*linalg.Matrix, error) {
+	h, err := g.MeasurementMatrix(t)
+	if err != nil {
+		return nil, err
+	}
+	b := len(g.Buses)
+	out := linalg.NewMatrix(h.Rows(), b-1)
+	for i := 0; i < h.Rows(); i++ {
+		cj := 0
+		for j := 0; j < b; j++ {
+			if j == g.RefBus-1 {
+				continue
+			}
+			out.Set(i, cj, h.At(i, j))
+			cj++
+		}
+	}
+	return out, nil
+}
+
+// BMatrix returns the (b-1) x (b-1) reduced nodal susceptance matrix for the
+// topology, with the reference bus removed. It relates net injections to
+// phase angles: B * theta_red = P_inj_red.
+func (g *Grid) BMatrix(t Topology) *linalg.Matrix {
+	b := len(g.Buses)
+	idx := g.reducedIndex()
+	m := linalg.NewMatrix(b-1, b-1)
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		fi, ti := idx[ln.From], idx[ln.To]
+		if fi >= 0 {
+			m.Add(fi, fi, ln.Admittance)
+		}
+		if ti >= 0 {
+			m.Add(ti, ti, ln.Admittance)
+		}
+		if fi >= 0 && ti >= 0 {
+			m.Add(fi, ti, -ln.Admittance)
+			m.Add(ti, fi, -ln.Admittance)
+		}
+	}
+	return m
+}
+
+// reducedIndex maps bus ID -> row index in reduced matrices (-1 for the
+// reference bus).
+func (g *Grid) reducedIndex() map[int]int {
+	idx := make(map[int]int, len(g.Buses))
+	ri := 0
+	for _, bus := range g.Buses {
+		if bus.ID == g.RefBus {
+			idx[bus.ID] = -1
+			continue
+		}
+		idx[bus.ID] = ri
+		ri++
+	}
+	return idx
+}

@@ -1,0 +1,115 @@
+package grid
+
+import (
+	"fmt"
+
+	"gridattack/internal/linalg"
+)
+
+// PowerFlow is the solved DC power-flow state of the system.
+type PowerFlow struct {
+	Theta     []float64 // phase angle per bus (index 0 = bus 1), ref = 0
+	LineFlow  []float64 // flow per line (index 0 = line 1); 0 for open lines
+	Injection []float64 // net injection per bus: generation - load
+}
+
+// Consumption returns the paper's bus power consumption P^B_j = load - gen
+// (Eq. 9), the negative of the net injection.
+func (pf *PowerFlow) Consumption() []float64 {
+	out := make([]float64, len(pf.Injection))
+	for i, v := range pf.Injection {
+		out[i] = -v
+	}
+	return out
+}
+
+// SolvePowerFlow computes the DC power-flow solution for the given topology
+// and per-bus generation dispatch. The load side comes from the grid's
+// existing loads. Generation and load must balance.
+func (g *Grid) SolvePowerFlow(t Topology, generation []float64) (*PowerFlow, error) {
+	if len(generation) != len(g.Buses) {
+		return nil, fmt.Errorf("%w: generation vector length %d, want %d", ErrInvalid, len(generation), len(g.Buses))
+	}
+	loads := g.LoadVector()
+	inj := make([]float64, len(g.Buses))
+	var sum float64
+	for i := range inj {
+		inj[i] = generation[i] - loads[i]
+		sum += inj[i]
+	}
+	if s := sum; s > 1e-6 || s < -1e-6 {
+		return nil, fmt.Errorf("%w: generation and load do not balance (mismatch %v p.u.)", ErrInvalid, s)
+	}
+	return g.SolvePowerFlowInjections(t, inj)
+}
+
+// SolvePowerFlowInjections computes the DC power-flow solution from net bus
+// injections (generation minus load per bus). The injections should sum to
+// (approximately) zero; the residual is absorbed by the reference bus.
+func (g *Grid) SolvePowerFlowInjections(t Topology, injections []float64) (*PowerFlow, error) {
+	b := len(g.Buses)
+	if len(injections) != b {
+		return nil, fmt.Errorf("%w: injection vector length %d, want %d", ErrInvalid, len(injections), b)
+	}
+	if !g.Connected(t) {
+		return nil, fmt.Errorf("%w: topology disconnects the network", ErrInvalid)
+	}
+	bm := g.BMatrix(t)
+	idx := g.reducedIndex()
+	rhs := make([]float64, b-1)
+	for _, bus := range g.Buses {
+		if ri := idx[bus.ID]; ri >= 0 {
+			rhs[ri] = injections[bus.ID-1]
+		}
+	}
+	thetaRed, err := linalg.Solve(bm, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("grid: power flow solve: %w", err)
+	}
+	theta := make([]float64, b)
+	for _, bus := range g.Buses {
+		if ri := idx[bus.ID]; ri >= 0 {
+			theta[bus.ID-1] = thetaRed[ri]
+		}
+	}
+	flows := make([]float64, len(g.Lines))
+	for _, ln := range g.Lines {
+		if t.Contains(ln.ID) {
+			flows[ln.ID-1] = ln.Admittance * (theta[ln.From-1] - theta[ln.To-1])
+		}
+	}
+	return &PowerFlow{Theta: theta, LineFlow: flows, Injection: append([]float64(nil), injections...)}, nil
+}
+
+// FlowsFromTheta computes per-line flows from a phase-angle vector under the
+// given topology.
+func (g *Grid) FlowsFromTheta(t Topology, theta []float64) ([]float64, error) {
+	if len(theta) != len(g.Buses) {
+		return nil, fmt.Errorf("%w: theta length %d, want %d", ErrInvalid, len(theta), len(g.Buses))
+	}
+	flows := make([]float64, len(g.Lines))
+	for _, ln := range g.Lines {
+		if t.Contains(ln.ID) {
+			flows[ln.ID-1] = ln.Admittance * (theta[ln.From-1] - theta[ln.To-1])
+		}
+	}
+	return flows, nil
+}
+
+// ConsumptionFromFlows computes per-bus power consumption (Eq. 8: incoming
+// minus outgoing flows) from per-line flows under the given topology.
+func (g *Grid) ConsumptionFromFlows(t Topology, flows []float64) ([]float64, error) {
+	if len(flows) != len(g.Lines) {
+		return nil, fmt.Errorf("%w: flow length %d, want %d", ErrInvalid, len(flows), len(g.Lines))
+	}
+	out := make([]float64, len(g.Buses))
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		f := flows[ln.ID-1]
+		out[ln.To-1] += f   // incoming at to-bus
+		out[ln.From-1] -= f // outgoing at from-bus
+	}
+	return out, nil
+}

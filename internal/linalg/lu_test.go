@@ -1,0 +1,219 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorizeNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Factorize(a); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestSolveRHSMismatch(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	diff, _ := prod.SubMatrix(Identity(2))
+	if diff.MaxAbs() > 1e-9 {
+		t.Errorf("A*inv(A) differs from I by %v", diff.MaxAbs())
+	}
+}
+
+func TestDet(t *testing.T) {
+	tests := []struct {
+		rows [][]float64
+		want float64
+	}{
+		{[][]float64{{3}}, 3},
+		{[][]float64{{1, 2}, {3, 4}}, -2},
+		{[][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}, 24},
+		{[][]float64{{0, 1}, {1, 0}}, -1},
+	}
+	for _, tc := range tests {
+		a, _ := NewMatrixFromRows(tc.rows)
+		f, err := Factorize(a)
+		if err != nil {
+			t.Fatalf("Factorize: %v", err)
+		}
+		if got := f.Det(); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("det(%v) = %v, want %v", tc.rows, got, tc.want)
+		}
+	}
+}
+
+func TestSolveMatrix(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{2, 0}, {0, 4}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	b, _ := NewMatrixFromRows([][]float64{{2, 4}, {4, 8}})
+	x, err := f.SolveMatrix(b)
+	if err != nil {
+		t.Fatalf("SolveMatrix: %v", err)
+	}
+	want := [][]float64{{1, 2}, {1, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEqual(x.At(i, j), want[i][j], 1e-9) {
+				t.Errorf("X(%d,%d) = %v, want %v", i, j, x.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+// Property: for random well-conditioned A and random x, Solve(A, A*x)
+// recovers x.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n)
+		// Make diagonally dominant so A is comfortably non-singular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		d, err := Sub(got, x)
+		if err != nil {
+			return false
+		}
+		return NormInf(d) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(A) via LU matches cofactor expansion for small matrices.
+func TestDetMatchesCofactor(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		fac, err := Factorize(a)
+		if err != nil {
+			return false
+		}
+		want := cofactorDet(a)
+		got := fac.Det()
+		return math.Abs(got-want) < 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func cofactorDet(a *Matrix) float64 {
+	n := a.Rows()
+	if n == 1 {
+		return a.At(0, 0)
+	}
+	var det float64
+	sign := 1.0
+	for j := 0; j < n; j++ {
+		minor := NewMatrix(n-1, n-1)
+		for r := 1; r < n; r++ {
+			mc := 0
+			for c := 0; c < n; c++ {
+				if c == j {
+					continue
+				}
+				minor.Set(r-1, mc, a.At(r, c))
+				mc++
+			}
+		}
+		det += sign * a.At(0, j) * cofactorDet(minor)
+		sign = -sign
+	}
+	return det
+}
+
+func TestVectorOps(t *testing.T) {
+	d, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Errorf("Dot = %v, %v; want 32, nil", d, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("Dot mismatch err = %v, want ErrDimension", err)
+	}
+	if n := Norm2([]float64{3, 4}); !almostEqual(n, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", n)
+	}
+	if n := NormInf([]float64{-7, 3}); n != 7 {
+		t.Errorf("NormInf = %v, want 7", n)
+	}
+	if s := Sum([]float64{1, 2, 3}); s != 6 {
+		t.Errorf("Sum = %v, want 6", s)
+	}
+	sc := ScaleVec(2, []float64{1, -1})
+	if sc[0] != 2 || sc[1] != -2 {
+		t.Errorf("ScaleVec = %v", sc)
+	}
+	av, err := AddVec([]float64{1, 2}, []float64{3, 4})
+	if err != nil || av[0] != 4 || av[1] != 6 {
+		t.Errorf("AddVec = %v, %v", av, err)
+	}
+}

@@ -1,0 +1,231 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	_, err := NewMatrixFromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestNewMatrixFromRowsEmpty(t *testing.T) {
+	m, err := NewMatrixFromRows(nil)
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows(nil): %v", err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("dims = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	id := Identity(3)
+	got, err := a.Mul(id)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != a.At(i, j) {
+				t.Fatalf("A*I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("dims = %dx%d, want 3x2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", at.At(2, 1))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randomMatrix(rng, r, c)
+		att := a.Transpose().Transpose()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if a.At(i, j) != att.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("got %v, want [3 7]", got)
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := a.Row(1)
+	row[0] = 99 // must not alias
+	if a.At(1, 0) != 4 {
+		t.Error("Row returned an aliased slice")
+	}
+	col := a.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v, want [3 6]", col)
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if err := a.SetRow(0, []float64{7, 8, 9}); err != nil {
+		t.Fatalf("SetRow: %v", err)
+	}
+	if a.At(0, 2) != 9 {
+		t.Errorf("At(0,2) = %v, want 9", a.At(0, 2))
+	}
+	if err := a.SetRow(0, []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestAddSubMatrix(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{4, 3}, {2, 1}})
+	sum, err := a.AddMatrix(b)
+	if err != nil {
+		t.Fatalf("AddMatrix: %v", err)
+	}
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Errorf("sum wrong: %v", sum)
+	}
+	diff, err := sum.SubMatrix(b)
+	if err != nil {
+		t.Fatalf("SubMatrix: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if diff.At(i, j) != a.At(i, j) {
+				t.Fatalf("(a+b)-b != a at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRankFullAndDeficient(t *testing.T) {
+	full, _ := NewMatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	if r := full.Rank(0); r != 2 {
+		t.Errorf("rank(I2) = %d, want 2", r)
+	}
+	deficient, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if r := deficient.Rank(0); r != 1 {
+		t.Errorf("rank = %d, want 1", r)
+	}
+	wide, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if r := wide.Rank(0); r != 2 {
+		t.Errorf("rank(wide) = %d, want 2", r)
+	}
+	zero := NewMatrix(3, 3)
+	if r := zero.Rank(0); r != 0 {
+		t.Errorf("rank(0) = %d, want 0", r)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// Property: (A*B)^T == B^T * A^T.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, p := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randomMatrix(rng, n, k)
+		b := randomMatrix(rng, k, p)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		lhs := ab.Transpose()
+		rhs, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		diff, err := lhs.SubMatrix(rhs)
+		if err != nil {
+			return false
+		}
+		return diff.MaxAbs() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package measure models the telemetered measurement layer of the grid: the
+// numbering of potential measurements, which of them are taken by meters,
+// which are integrity-protected, which the attacker can reach, and the
+// generation of measurement vectors from a solved power flow.
+//
+// Measurement numbering follows the paper: for a grid with l lines and b
+// buses there are m = 2l + b potential measurements; measurement i (1-based)
+// is the forward flow of line i for i <= l, the backward flow of line i-l
+// for l < i <= 2l, and the power consumption of bus i-2l otherwise.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gridattack/internal/grid"
+)
+
+// ErrPlan reports a malformed measurement plan.
+var ErrPlan = errors.New("measure: invalid plan")
+
+// Kind distinguishes the three measurement families.
+type Kind int
+
+// Measurement kinds.
+const (
+	ForwardFlow Kind = iota + 1
+	BackwardFlow
+	Consumption
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ForwardFlow:
+		return "forward-flow"
+	case BackwardFlow:
+		return "backward-flow"
+	case Consumption:
+		return "consumption"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan records, for each potential measurement, whether it is taken by a
+// meter, whether it is integrity-protected (secured), and whether the
+// attacker can alter it (accessibility). Indices are 1-based measurement
+// numbers; index 0 is unused.
+type Plan struct {
+	L, B       int
+	Taken      []bool
+	Secured    []bool
+	Accessible []bool
+}
+
+// NewPlan returns a plan for a grid with l lines and b buses with no
+// measurements taken.
+func NewPlan(l, b int) *Plan {
+	m := 2*l + b
+	return &Plan{
+		L:          l,
+		B:          b,
+		Taken:      make([]bool, m+1),
+		Secured:    make([]bool, m+1),
+		Accessible: make([]bool, m+1),
+	}
+}
+
+// FullPlan returns a plan where every potential measurement is taken,
+// unsecured, and accessible.
+func FullPlan(l, b int) *Plan {
+	p := NewPlan(l, b)
+	for i := 1; i <= p.M(); i++ {
+		p.Taken[i] = true
+		p.Accessible[i] = true
+	}
+	return p
+}
+
+// M returns the number of potential measurements.
+func (p *Plan) M() int { return 2*p.L + p.B }
+
+// ForwardIndex returns the measurement number of line i's forward flow.
+func (p *Plan) ForwardIndex(line int) int { return line }
+
+// BackwardIndex returns the measurement number of line i's backward flow.
+func (p *Plan) BackwardIndex(line int) int { return p.L + line }
+
+// ConsumptionIndex returns the measurement number of bus j's consumption.
+func (p *Plan) ConsumptionIndex(bus int) int { return 2*p.L + bus }
+
+// KindOf returns the family and subject (line or bus number) of measurement
+// i.
+func (p *Plan) KindOf(i int) (Kind, int) {
+	switch {
+	case i >= 1 && i <= p.L:
+		return ForwardFlow, i
+	case i > p.L && i <= 2*p.L:
+		return BackwardFlow, i - p.L
+	case i > 2*p.L && i <= p.M():
+		return Consumption, i - 2*p.L
+	default:
+		return 0, 0
+	}
+}
+
+// BusOf returns the bus (substation) where measurement i physically resides:
+// the from-bus for forward flows, the to-bus for backward flows, and the bus
+// itself for consumptions. This matches the paper's Eq. (21).
+func (p *Plan) BusOf(i int, g *grid.Grid) int {
+	kind, subj := p.KindOf(i)
+	switch kind {
+	case ForwardFlow:
+		return g.Lines[subj-1].From
+	case BackwardFlow:
+		return g.Lines[subj-1].To
+	case Consumption:
+		return subj
+	default:
+		return 0
+	}
+}
+
+// Validate checks the plan's dimensions against a grid.
+func (p *Plan) Validate(g *grid.Grid) error {
+	if p.L != g.NumLines() || p.B != g.NumBuses() {
+		return fmt.Errorf("%w: plan is %d lines x %d buses, grid is %d x %d",
+			ErrPlan, p.L, p.B, g.NumLines(), g.NumBuses())
+	}
+	want := p.M() + 1
+	if len(p.Taken) != want || len(p.Secured) != want || len(p.Accessible) != want {
+		return fmt.Errorf("%w: slice lengths inconsistent with m=%d", ErrPlan, p.M())
+	}
+	return nil
+}
+
+// CountTaken returns how many measurements are taken.
+func (p *Plan) CountTaken() int {
+	n := 0
+	for i := 1; i <= p.M(); i++ {
+		if p.Taken[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the plan.
+func (p *Plan) Clone() *Plan {
+	return &Plan{
+		L:          p.L,
+		B:          p.B,
+		Taken:      append([]bool(nil), p.Taken...),
+		Secured:    append([]bool(nil), p.Secured...),
+		Accessible: append([]bool(nil), p.Accessible...),
+	}
+}
+
+// Vector is a measurement snapshot: values indexed by 1-based measurement
+// number, with Present marking which entries are meaningful (taken).
+type Vector struct {
+	Values  []float64
+	Present []bool
+}
+
+// NewVector returns an empty vector for m measurements.
+func NewVector(m int) *Vector {
+	return &Vector{Values: make([]float64, m+1), Present: make([]bool, m+1)}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	return &Vector{
+		Values:  append([]float64(nil), v.Values...),
+		Present: append([]bool(nil), v.Present...),
+	}
+}
+
+// TakenValues returns the values of present measurements in index order,
+// along with their measurement numbers.
+func (v *Vector) TakenValues() (idx []int, vals []float64) {
+	for i := 1; i < len(v.Values); i++ {
+		if v.Present[i] {
+			idx = append(idx, i)
+			vals = append(vals, v.Values[i])
+		}
+	}
+	return idx, vals
+}
+
+// FromPowerFlow builds the measurement vector a meter deployment described
+// by the plan would report for the given solved power flow. The noise
+// standard deviation sigma adds zero-mean Gaussian error using rng; pass
+// sigma = 0 (rng may be nil) for exact measurements.
+func (p *Plan) FromPowerFlow(g *grid.Grid, pf *grid.PowerFlow, sigma float64, rng *rand.Rand) (*Vector, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	cons := pf.Consumption()
+	v := NewVector(p.M())
+	for i := 1; i <= p.M(); i++ {
+		if !p.Taken[i] {
+			continue
+		}
+		kind, subj := p.KindOf(i)
+		var val float64
+		switch kind {
+		case ForwardFlow:
+			val = pf.LineFlow[subj-1]
+		case BackwardFlow:
+			val = -pf.LineFlow[subj-1]
+		case Consumption:
+			val = cons[subj-1]
+		}
+		if sigma > 0 && rng != nil {
+			val += rng.NormFloat64() * sigma
+		}
+		v.Values[i] = val
+		v.Present[i] = true
+	}
+	return v, nil
+}

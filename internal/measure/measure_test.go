@@ -1,0 +1,171 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+func testGrid() *grid.Grid {
+	return &grid.Grid{
+		Name:   "tri",
+		RefBus: 1,
+		Buses: []grid.Bus{
+			{ID: 1, HasGenerator: true},
+			{ID: 2, HasLoad: true},
+			{ID: 3, HasLoad: true},
+		},
+		Lines: []grid.Line{
+			{ID: 1, From: 1, To: 2, Admittance: 10, Capacity: 1, InService: true},
+			{ID: 2, From: 2, To: 3, Admittance: 5, Capacity: 1, InService: true},
+			{ID: 3, From: 1, To: 3, Admittance: 8, Capacity: 1, InService: true},
+		},
+		Generators: []grid.Generator{{Bus: 1, MaxP: 2, MinP: 0, Alpha: 10, Beta: 100}},
+		Loads: []grid.Load{
+			{Bus: 2, P: 0.4, MaxP: 0.6, MinP: 0.2},
+			{Bus: 3, P: 0.3, MaxP: 0.5, MinP: 0.1},
+		},
+	}
+}
+
+func TestNumbering(t *testing.T) {
+	p := NewPlan(7, 5)
+	if p.M() != 19 {
+		t.Fatalf("M = %d, want 19", p.M())
+	}
+	if p.ForwardIndex(3) != 3 || p.BackwardIndex(3) != 10 || p.ConsumptionIndex(2) != 16 {
+		t.Error("index functions wrong")
+	}
+	k, subj := p.KindOf(3)
+	if k != ForwardFlow || subj != 3 {
+		t.Errorf("KindOf(3) = %v %d", k, subj)
+	}
+	k, subj = p.KindOf(10)
+	if k != BackwardFlow || subj != 3 {
+		t.Errorf("KindOf(10) = %v %d", k, subj)
+	}
+	k, subj = p.KindOf(16)
+	if k != Consumption || subj != 2 {
+		t.Errorf("KindOf(16) = %v %d", k, subj)
+	}
+	if k, _ := p.KindOf(0); k != 0 {
+		t.Error("KindOf(0) should be invalid")
+	}
+	if k, _ := p.KindOf(20); k != 0 {
+		t.Error("KindOf(20) should be invalid")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{ForwardFlow, BackwardFlow, Consumption, Kind(99)} {
+		if k.String() == "" {
+			t.Error("empty Kind string")
+		}
+	}
+}
+
+func TestBusOf(t *testing.T) {
+	g := testGrid()
+	p := FullPlan(3, 3)
+	// Forward of line 2 (2->3) resides at bus 2; backward at bus 3.
+	if p.BusOf(2, g) != 2 {
+		t.Errorf("BusOf(fwd line2) = %d, want 2", p.BusOf(2, g))
+	}
+	if p.BusOf(5, g) != 3 {
+		t.Errorf("BusOf(bwd line2) = %d, want 3", p.BusOf(5, g))
+	}
+	if p.BusOf(8, g) != 2 {
+		t.Errorf("BusOf(cons bus2) = %d, want 2", p.BusOf(8, g))
+	}
+	if p.BusOf(0, g) != 0 {
+		t.Error("BusOf(0) should be 0")
+	}
+}
+
+func TestValidateAndClone(t *testing.T) {
+	g := testGrid()
+	p := FullPlan(3, 3)
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := NewPlan(4, 3)
+	if err := bad.Validate(g); !errors.Is(err, ErrPlan) {
+		t.Fatalf("err = %v, want ErrPlan", err)
+	}
+	c := p.Clone()
+	c.Taken[1] = false
+	if !p.Taken[1] {
+		t.Error("Clone aliases Taken")
+	}
+	if p.CountTaken() != 9 {
+		t.Errorf("CountTaken = %d, want 9", p.CountTaken())
+	}
+}
+
+func TestFromPowerFlowExact(t *testing.T) {
+	g := testGrid()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), []float64{0.7, 0, 0})
+	if err != nil {
+		t.Fatalf("SolvePowerFlow: %v", err)
+	}
+	p := FullPlan(3, 3)
+	v, err := p.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatalf("FromPowerFlow: %v", err)
+	}
+	// Forward and backward flows must be negations.
+	for line := 1; line <= 3; line++ {
+		f := v.Values[p.ForwardIndex(line)]
+		b := v.Values[p.BackwardIndex(line)]
+		if math.Abs(f+b) > 1e-12 {
+			t.Errorf("line %d: fwd %v bwd %v not negations", line, f, b)
+		}
+	}
+	// Consumption at load buses equals load (no generation there).
+	if math.Abs(v.Values[p.ConsumptionIndex(2)]-0.4) > 1e-9 {
+		t.Errorf("cons bus2 = %v, want 0.4", v.Values[p.ConsumptionIndex(2)])
+	}
+	// Consumption at the generator bus is negative generation.
+	if math.Abs(v.Values[p.ConsumptionIndex(1)]+0.7) > 1e-9 {
+		t.Errorf("cons bus1 = %v, want -0.7", v.Values[p.ConsumptionIndex(1)])
+	}
+}
+
+func TestFromPowerFlowPartialPlanAndNoise(t *testing.T) {
+	g := testGrid()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), []float64{0.7, 0, 0})
+	if err != nil {
+		t.Fatalf("SolvePowerFlow: %v", err)
+	}
+	p := NewPlan(3, 3)
+	p.Taken[1] = true
+	p.Taken[8] = true
+	rng := rand.New(rand.NewSource(1))
+	v, err := p.FromPowerFlow(g, pf, 0.01, rng)
+	if err != nil {
+		t.Fatalf("FromPowerFlow: %v", err)
+	}
+	idx, vals := v.TakenValues()
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 8 {
+		t.Fatalf("TakenValues idx = %v", idx)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("TakenValues vals = %v", vals)
+	}
+	if v.Present[2] {
+		t.Error("measurement 2 should be absent")
+	}
+	c := v.Clone()
+	c.Values[1] = 99
+	if v.Values[1] == 99 {
+		t.Error("Vector.Clone aliases storage")
+	}
+	// Mismatched plan errors.
+	bad := NewPlan(9, 9)
+	if _, err := bad.FromPowerFlow(g, pf, 0, nil); !errors.Is(err, ErrPlan) {
+		t.Fatalf("err = %v, want ErrPlan", err)
+	}
+}

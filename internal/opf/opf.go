@@ -1,0 +1,259 @@
+// Package opf solves the DC Optimal Power Flow problem (paper Sec. II-D,
+// Eqs. 3-6) three ways:
+//
+//   - Solve: an exact minimum-cost dispatch via the LP simplex, used to
+//     compute the attack-free optimal cost and to evaluate attacked systems;
+//   - Encode/FeasibleWithin: the paper's "OPF model" — a feasibility query
+//     "is there a dispatch with cost <= T?" encoded for the SMT solver
+//     (Eqs. 30-35), which the impact-analysis framework negates to certify
+//     a minimum cost increase (Eq. 37);
+//   - SolveShift: the shift-factor formulation with LODF handling of a
+//     single-line outage (paper Sec. IV-A's scalability optimization).
+package opf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridattack/internal/dist"
+	"gridattack/internal/grid"
+	"gridattack/internal/lp"
+)
+
+// ErrInfeasible indicates no dispatch satisfies the constraints.
+var ErrInfeasible = errors.New("opf: infeasible")
+
+// ErrNoGenerators indicates the grid has no dispatchable generation.
+var ErrNoGenerators = errors.New("opf: no generators")
+
+// Solution is an optimal dispatch.
+type Solution struct {
+	Cost     float64   // total generation cost including fixed terms
+	Dispatch []float64 // generation per bus (index 0 = bus 1)
+	Flows    []float64 // line flows (index 0 = line 1)
+	Theta    []float64 // bus angles; nil for the shift-factor solver
+}
+
+// Solve computes the exact minimum-cost dispatch for the grid under mapped
+// topology t serving the given per-bus loads (nil means the grid's existing
+// loads). Only lines in t carry flow or capacity constraints.
+func Solve(g *grid.Grid, t grid.Topology, loads []float64) (*Solution, error) {
+	if len(g.Generators) == 0 {
+		return nil, ErrNoGenerators
+	}
+	if loads == nil {
+		loads = g.LoadVector()
+	}
+	if len(loads) != g.NumBuses() {
+		return nil, fmt.Errorf("opf: load vector length %d, want %d", len(loads), g.NumBuses())
+	}
+	if !g.Connected(t) {
+		return nil, fmt.Errorf("opf: topology disconnects the network: %w", ErrInfeasible)
+	}
+
+	p := lp.NewProblem()
+	inf := math.Inf(1)
+
+	// Angle variables; the reference bus is fixed at 0 (not a variable).
+	thetaVar := make([]int, g.NumBuses()+1)
+	for _, bus := range g.Buses {
+		if bus.ID == g.RefBus {
+			thetaVar[bus.ID] = -1
+			continue
+		}
+		thetaVar[bus.ID] = p.AddVariable(-inf, inf, 0, fmt.Sprintf("theta%d", bus.ID))
+	}
+	// Generator outputs.
+	genVar := make([]int, len(g.Generators))
+	var fixedCost float64
+	for i, gen := range g.Generators {
+		genVar[i] = p.AddVariable(gen.MinP, gen.MaxP, gen.Beta, fmt.Sprintf("pg%d", gen.Bus))
+		fixedCost += gen.Alpha
+	}
+	// Flow variables for mapped lines, with capacity bounds and the defining
+	// constraint F_i - d_i*theta_f + d_i*theta_e = 0.
+	flowVar := make([]int, g.NumLines()+1)
+	for _, ln := range g.Lines {
+		flowVar[ln.ID] = -1
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		fv := p.AddVariable(-ln.Capacity, ln.Capacity, 0, fmt.Sprintf("f%d", ln.ID))
+		flowVar[ln.ID] = fv
+		terms := []lp.Term{{Var: fv, Coeff: 1}}
+		if v := thetaVar[ln.From]; v >= 0 {
+			terms = append(terms, lp.Term{Var: v, Coeff: -ln.Admittance})
+		}
+		if v := thetaVar[ln.To]; v >= 0 {
+			terms = append(terms, lp.Term{Var: v, Coeff: ln.Admittance})
+		}
+		p.AddConstraint(terms, lp.EQ, 0)
+	}
+	// Nodal balance: sum(outgoing) - sum(incoming) - sum(gen at bus) = -load.
+	for _, bus := range g.Buses {
+		var terms []lp.Term
+		for _, ln := range g.Lines {
+			fv := flowVar[ln.ID]
+			if fv < 0 {
+				continue
+			}
+			if ln.From == bus.ID {
+				terms = append(terms, lp.Term{Var: fv, Coeff: 1})
+			}
+			if ln.To == bus.ID {
+				terms = append(terms, lp.Term{Var: fv, Coeff: -1})
+			}
+		}
+		for i, gen := range g.Generators {
+			if gen.Bus == bus.ID {
+				terms = append(terms, lp.Term{Var: genVar[i], Coeff: -1})
+			}
+		}
+		if len(terms) == 0 && loads[bus.ID-1] != 0 {
+			return nil, fmt.Errorf("opf: isolated bus %d with load: %w", bus.ID, ErrInfeasible)
+		}
+		p.AddConstraint(terms, lp.EQ, -loads[bus.ID-1])
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("opf: %w", err)
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, ErrInfeasible
+	case lp.Unbounded:
+		return nil, fmt.Errorf("opf: unbounded LP (model error)")
+	}
+
+	out := &Solution{
+		Cost:     sol.Objective + fixedCost,
+		Dispatch: make([]float64, g.NumBuses()),
+		Flows:    make([]float64, g.NumLines()),
+		Theta:    make([]float64, g.NumBuses()),
+	}
+	for i, gen := range g.Generators {
+		out.Dispatch[gen.Bus-1] += sol.Value(genVar[i])
+	}
+	for _, ln := range g.Lines {
+		if fv := flowVar[ln.ID]; fv >= 0 {
+			out.Flows[ln.ID-1] = sol.Value(fv)
+		}
+	}
+	for _, bus := range g.Buses {
+		if v := thetaVar[bus.ID]; v >= 0 {
+			out.Theta[bus.ID-1] = sol.Value(v)
+		}
+	}
+	return out, nil
+}
+
+// SolveShift computes the minimum-cost dispatch using the shift-factor
+// (PTDF) formulation on the factors' topology, optionally applying a
+// single-line outage via LODFs (outage = 0 means none). This is the paper's
+// Sec. IV-A fast path: the factors are computed once and reused across
+// candidate attacks.
+func SolveShift(g *grid.Grid, fac *dist.Factors, outage int, loads []float64) (*Solution, error) {
+	if len(g.Generators) == 0 {
+		return nil, ErrNoGenerators
+	}
+	if loads == nil {
+		loads = g.LoadVector()
+	}
+	if len(loads) != g.NumBuses() {
+		return nil, fmt.Errorf("opf: load vector length %d, want %d", len(loads), g.NumBuses())
+	}
+
+	p := lp.NewProblem()
+	genVar := make([]int, len(g.Generators))
+	var fixedCost float64
+	for i, gen := range g.Generators {
+		genVar[i] = p.AddVariable(gen.MinP, gen.MaxP, gen.Beta, fmt.Sprintf("pg%d", gen.Bus))
+		fixedCost += gen.Alpha
+	}
+	// Total balance.
+	terms := make([]lp.Term, len(genVar))
+	var totalLoad float64
+	for i := range genVar {
+		terms[i] = lp.Term{Var: genVar[i], Coeff: 1}
+	}
+	for _, l := range loads {
+		totalLoad += l
+	}
+	p.AddConstraint(terms, lp.EQ, totalLoad)
+
+	// Line-capacity rows: flow_i = sum_j ptdf_ij * inj_j (+ LODF pickup from
+	// the outaged line), inj_j = gen_j - load_j.
+	for _, ln := range g.Lines {
+		if ln.ID == outage {
+			continue
+		}
+		coeff := make([]float64, g.NumBuses())
+		for j := 1; j <= g.NumBuses(); j++ {
+			coeff[j-1] = fac.PTDF(ln.ID, j)
+		}
+		if outage != 0 {
+			lodf, err := fac.LODF(ln.ID, outage)
+			if err != nil {
+				return nil, fmt.Errorf("opf: LODF(%d,%d): %w", ln.ID, outage, err)
+			}
+			for j := 1; j <= g.NumBuses(); j++ {
+				coeff[j-1] += lodf * fac.PTDF(outage, j)
+			}
+		}
+		var rowTerms []lp.Term
+		var constPart float64
+		for j := 0; j < g.NumBuses(); j++ {
+			constPart -= coeff[j] * loads[j]
+		}
+		for i, gen := range g.Generators {
+			if c := coeff[gen.Bus-1]; c != 0 {
+				rowTerms = append(rowTerms, lp.Term{Var: genVar[i], Coeff: c})
+			}
+		}
+		p.AddConstraint(rowTerms, lp.LE, ln.Capacity-constPart)
+		neg := make([]lp.Term, len(rowTerms))
+		for k, tm := range rowTerms {
+			neg[k] = lp.Term{Var: tm.Var, Coeff: -tm.Coeff}
+		}
+		p.AddConstraint(neg, lp.LE, ln.Capacity+constPart)
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("opf: %w", err)
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, ErrInfeasible
+	case lp.Unbounded:
+		return nil, fmt.Errorf("opf: unbounded LP (model error)")
+	}
+	out := &Solution{
+		Cost:     sol.Objective + fixedCost,
+		Dispatch: make([]float64, g.NumBuses()),
+		Flows:    make([]float64, g.NumLines()),
+	}
+	for i, gen := range g.Generators {
+		out.Dispatch[gen.Bus-1] += sol.Value(genVar[i])
+	}
+	inj := make([]float64, g.NumBuses())
+	for j := range inj {
+		inj[j] = out.Dispatch[j] - loads[j]
+	}
+	base, err := fac.Flows(inj)
+	if err != nil {
+		return nil, err
+	}
+	if outage == 0 {
+		out.Flows = base
+	} else {
+		after, err := fac.FlowsAfterOutage(base, outage)
+		if err != nil {
+			return nil, err
+		}
+		out.Flows = after
+	}
+	return out, nil
+}

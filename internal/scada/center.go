@@ -1,0 +1,94 @@
+package scada
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/topo"
+)
+
+// Center is the control-center collector: it polls every RTU and assembles
+// the system-wide measurement vector and breaker status report consumed by
+// the EMS pipeline (topology processor, state estimator, OPF).
+type Center struct {
+	grid *grid.Grid
+	plan *measure.Plan
+	// Timeout bounds each RTU poll round trip; 0 selects 5 seconds.
+	Timeout time.Duration
+
+	addrs map[int]string // bus -> RTU address
+}
+
+// NewCenter returns a collector for the grid and plan.
+func NewCenter(g *grid.Grid, plan *measure.Plan) *Center {
+	return &Center{grid: g, plan: plan, addrs: make(map[int]string)}
+}
+
+// Register records the network address of a bus's RTU.
+func (c *Center) Register(bus int, addr string) {
+	c.addrs[bus] = addr
+}
+
+// Collect polls every registered RTU and merges the responses.
+func (c *Center) Collect() (*measure.Vector, *topo.Report, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	z := measure.NewVector(c.plan.M())
+	statuses := make([]topo.Status, 0, c.grid.NumLines())
+	for bus := 1; bus <= c.grid.NumBuses(); bus++ {
+		addr, ok := c.addrs[bus]
+		if !ok {
+			continue
+		}
+		t, err := c.pollOne(addr, timeout)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scada: poll bus %d: %w", bus, err)
+		}
+		if int(t.Bus) != bus {
+			return nil, nil, fmt.Errorf("%w: RTU at %s claims bus %d, want %d", ErrProtocol, addr, t.Bus, bus)
+		}
+		for _, m := range t.Measurements {
+			idx := int(m.Index)
+			if idx < 1 || idx > c.plan.M() {
+				return nil, nil, fmt.Errorf("%w: measurement index %d out of range", ErrProtocol, idx)
+			}
+			z.Values[idx] = m.Value
+			z.Present[idx] = true
+		}
+		for _, s := range t.Statuses {
+			statuses = append(statuses, topo.Status{Line: int(s.Line), Closed: s.Closed})
+		}
+	}
+	report, err := topo.NewReport(statuses)
+	if err != nil {
+		return nil, nil, err
+	}
+	return z, report, nil
+}
+
+func (c *Center) pollOne(addr string, timeout time.Duration) (*Telemetry, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, MsgPoll, nil); err != nil {
+		return nil, err
+	}
+	msgType, payload, err := ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != MsgTelemetry {
+		return nil, fmt.Errorf("%w: unexpected message type %d", ErrProtocol, msgType)
+	}
+	return DecodeTelemetry(payload)
+}

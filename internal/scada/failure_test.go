@@ -1,0 +1,166 @@
+package scada
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"gridattack/internal/cases"
+)
+
+// TestCenterGarbageServer: a server speaking a different protocol must
+// produce a collection error, not a hang or panic.
+func TestCenterGarbageServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = conn.Write([]byte("HTTP/1.1 200 OK\r\n\r\nnope"))
+			conn.Close()
+		}
+	}()
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	center := NewCenter(g, plan)
+	center.Timeout = 2 * time.Second
+	center.Register(1, l.Addr().String())
+	if _, _, err := center.Collect(); err == nil {
+		t.Fatal("want protocol error from garbage server")
+	}
+}
+
+// TestCenterDeadRTU: polling a closed port errors out quickly.
+func TestCenterDeadRTU(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	// Reserve and release a port so nothing listens there.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	center := NewCenter(g, plan)
+	center.Timeout = time.Second
+	center.Register(1, addr)
+	if _, _, err := center.Collect(); err == nil {
+		t.Fatal("want dial error for dead RTU")
+	}
+}
+
+// TestCenterWrongBusClaim: an RTU claiming the wrong bus is rejected.
+func TestCenterWrongBusClaim(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	rtu := NewRTU(g, plan, 2) // serves bus 2...
+	addr, err := rtu.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtu.Close()
+	center := NewCenter(g, plan)
+	center.Register(1, addr) // ...registered as bus 1
+	if _, _, err := center.Collect(); err == nil {
+		t.Fatal("want error for bus mismatch")
+	}
+}
+
+// TestRTUCloseUnblocksClients: Close must terminate promptly even with an
+// idle client connection open.
+func TestRTUCloseUnblocksClients(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	rtu := NewRTU(g, plan, 1)
+	addr, err := rtu.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the client first so the handler's read fails and its goroutine
+	// exits; then the RTU must close cleanly.
+	conn.Close()
+	done := make(chan struct{})
+	go func() {
+		rtu.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RTU.Close blocked")
+	}
+}
+
+// TestMITMPassthroughWithoutVector: with no vector installed the proxy is a
+// transparent relay.
+func TestMITMPassthroughWithoutVector(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtu := NewRTU(g, plan, 3)
+	rtu.UpdateFromVector(z)
+	addr, err := rtu.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtu.Close()
+	proxy := NewMITM(g, plan, addr)
+	proxyAddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	center := NewCenter(g, plan)
+	center.Register(3, proxyAddr)
+	collected, _, err := center.Collect()
+	if err != nil {
+		t.Fatalf("Collect through passthrough proxy: %v", err)
+	}
+	// Measurement 6 (forward flow of line 6, at bus 3) must be unmodified.
+	if got, want := collected.Values[6], z.Values[6]; got != want {
+		t.Errorf("passthrough altered measurement 6: %v != %v", got, want)
+	}
+}
+
+// TestMITMUpstreamDown: if the real RTU is unreachable the proxied poll
+// fails cleanly at the center.
+func TestMITMUpstreamDown(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	proxy := NewMITM(g, plan, dead)
+	proxyAddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	center := NewCenter(g, plan)
+	center.Timeout = time.Second
+	center.Register(1, proxyAddr)
+	if _, _, err := center.Collect(); err == nil {
+		t.Fatal("want error when upstream RTU is down")
+	}
+}

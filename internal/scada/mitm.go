@@ -1,0 +1,163 @@
+package scada
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// MITM is a man-in-the-middle proxy between the control center and one RTU.
+// It forwards polls unchanged and rewrites telemetry responses according to
+// a stealthy attack vector: flow/consumption measurement deltas are added
+// and the statuses of excluded/included lines are flipped. Only
+// measurements the vector marks as altered are touched, mirroring the
+// attacker's access constraints.
+type MITM struct {
+	grid *grid.Grid
+	plan *measure.Plan
+
+	mu     sync.Mutex
+	vector *attack.Vector
+
+	listener net.Listener
+	upstream string
+	wg       sync.WaitGroup
+	stop     chan struct{}
+}
+
+// NewMITM returns a proxy toward the RTU at upstream.
+func NewMITM(g *grid.Grid, plan *measure.Plan, upstream string) *MITM {
+	return &MITM{grid: g, plan: plan, upstream: upstream, stop: make(chan struct{})}
+}
+
+// SetVector installs (or clears, with nil) the attack vector to apply.
+func (m *MITM) SetVector(v *attack.Vector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vector = v
+}
+
+// Listen starts the proxy and returns its bound address.
+func (m *MITM) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("scada: mitm listen: %w", err)
+	}
+	m.listener = l
+	m.wg.Add(1)
+	go m.serve()
+	return l.Addr().String(), nil
+}
+
+func (m *MITM) serve() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer conn.Close()
+			m.handle(conn)
+		}()
+	}
+}
+
+func (m *MITM) handle(down net.Conn) {
+	up, err := net.Dial("tcp", m.upstream)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	for {
+		// Forward one poll upstream.
+		msgType, payload, err := ReadFrame(down)
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(up, msgType, payload); err != nil {
+			return
+		}
+		// Intercept the response.
+		respType, respPayload, err := ReadFrame(up)
+		if err != nil {
+			return
+		}
+		if respType == MsgTelemetry {
+			if rewritten, err := m.rewrite(respPayload); err == nil {
+				respPayload = rewritten
+			}
+		}
+		if err := WriteFrame(down, respType, respPayload); err != nil {
+			return
+		}
+	}
+}
+
+// rewrite applies the installed attack vector to a telemetry payload.
+func (m *MITM) rewrite(payload []byte) ([]byte, error) {
+	m.mu.Lock()
+	v := m.vector
+	m.mu.Unlock()
+	if v == nil {
+		return payload, nil
+	}
+	t, err := DecodeTelemetry(payload)
+	if err != nil {
+		return nil, err
+	}
+	altered := make(map[int]bool, len(v.AlteredMeasurements))
+	for _, i := range v.AlteredMeasurements {
+		altered[i] = true
+	}
+	for i := range t.Measurements {
+		idx := int(t.Measurements[i].Index)
+		if !altered[idx] {
+			continue
+		}
+		kind, subj := m.plan.KindOf(idx)
+		switch kind {
+		case measure.ForwardFlow:
+			t.Measurements[i].Value += v.DeltaFlow[subj-1]
+		case measure.BackwardFlow:
+			t.Measurements[i].Value -= v.DeltaFlow[subj-1]
+		case measure.Consumption:
+			t.Measurements[i].Value += v.DeltaConsumption[subj-1]
+		}
+	}
+	excluded := make(map[int]bool, len(v.ExcludedLines))
+	for _, l := range v.ExcludedLines {
+		excluded[l] = true
+	}
+	included := make(map[int]bool, len(v.IncludedLines))
+	for _, l := range v.IncludedLines {
+		included[l] = true
+	}
+	for i := range t.Statuses {
+		line := int(t.Statuses[i].Line)
+		if excluded[line] {
+			t.Statuses[i].Closed = false
+		}
+		if included[line] {
+			t.Statuses[i].Closed = true
+		}
+	}
+	return t.Encode(), nil
+}
+
+// Close stops the proxy and waits for its goroutines.
+func (m *MITM) Close() error {
+	close(m.stop)
+	var err error
+	if m.listener != nil {
+		err = m.listener.Close()
+	}
+	m.wg.Wait()
+	return err
+}

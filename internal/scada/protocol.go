@@ -1,0 +1,209 @@
+// Package scada provides a small SCADA telemetry layer so the attack can be
+// demonstrated end-to-end on a running distributed system: RTU servers (one
+// per substation) serve measurements and breaker statuses over TCP, a
+// control-center collector polls them, and a man-in-the-middle proxy applies
+// a stealthy attack vector to the telemetry in flight.
+//
+// The wire protocol is a simple length-prefixed binary format
+// (encoding/binary, big endian):
+//
+//	header:  magic uint16 | type uint8 | payload length uint16
+//	poll:    empty payload
+//	telemetry payload:
+//	         bus uint16
+//	         nMeas uint16, then nMeas x { index uint16, value float64 }
+//	         nStat uint16, then nStat x { line uint16, closed uint8 }
+package scada
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	protoMagic uint16 = 0x5CAD
+
+	// MsgPoll requests a telemetry snapshot from an RTU.
+	MsgPoll uint8 = 1
+	// MsgTelemetry carries a substation's measurements and statuses.
+	MsgTelemetry uint8 = 2
+
+	maxPayload = 64 * 1024
+)
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("scada: protocol error")
+
+// MeasurementReading is one telemetered measurement value.
+type MeasurementReading struct {
+	Index uint16 // 1-based global measurement number
+	Value float64
+}
+
+// StatusReading is one telemetered breaker status.
+type StatusReading struct {
+	Line   uint16
+	Closed bool
+}
+
+// Telemetry is a substation snapshot.
+type Telemetry struct {
+	Bus          uint16
+	Measurements []MeasurementReading
+	Statuses     []StatusReading
+}
+
+// WriteFrame writes a protocol frame.
+func WriteFrame(w io.Writer, msgType uint8, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: payload %d exceeds limit", ErrProtocol, len(payload))
+	}
+	header := make([]byte, 5)
+	binary.BigEndian.PutUint16(header[0:2], protoMagic)
+	header[2] = msgType
+	binary.BigEndian.PutUint16(header[3:5], uint16(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one protocol frame.
+func ReadFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint16(header[0:2]) != protoMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	msgType = header[2]
+	n := int(binary.BigEndian.Uint16(header[3:5]))
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return msgType, payload, nil
+}
+
+// Encode serializes the telemetry payload.
+func (t *Telemetry) Encode() []byte {
+	out := make([]byte, 0, 6+10*len(t.Measurements)+3*len(t.Statuses))
+	var buf [8]byte
+	binary.BigEndian.PutUint16(buf[:2], t.Bus)
+	out = append(out, buf[:2]...)
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(t.Measurements)))
+	out = append(out, buf[:2]...)
+	for _, m := range t.Measurements {
+		binary.BigEndian.PutUint16(buf[:2], m.Index)
+		out = append(out, buf[:2]...)
+		binary.BigEndian.PutUint64(buf[:8], math.Float64bits(m.Value))
+		out = append(out, buf[:8]...)
+	}
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(t.Statuses)))
+	out = append(out, buf[:2]...)
+	for _, s := range t.Statuses {
+		binary.BigEndian.PutUint16(buf[:2], s.Line)
+		out = append(out, buf[:2]...)
+		if s.Closed {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// DecodeTelemetry parses a telemetry payload.
+func DecodeTelemetry(payload []byte) (*Telemetry, error) {
+	rd := &byteReader{b: payload}
+	t := &Telemetry{}
+	bus, err := rd.uint16()
+	if err != nil {
+		return nil, err
+	}
+	t.Bus = bus
+	nMeas, err := rd.uint16()
+	if err != nil {
+		return nil, err
+	}
+	t.Measurements = make([]MeasurementReading, 0, nMeas)
+	for i := 0; i < int(nMeas); i++ {
+		idx, err := rd.uint16()
+		if err != nil {
+			return nil, err
+		}
+		bits, err := rd.uint64()
+		if err != nil {
+			return nil, err
+		}
+		t.Measurements = append(t.Measurements, MeasurementReading{
+			Index: idx, Value: math.Float64frombits(bits),
+		})
+	}
+	nStat, err := rd.uint16()
+	if err != nil {
+		return nil, err
+	}
+	t.Statuses = make([]StatusReading, 0, nStat)
+	for i := 0; i < int(nStat); i++ {
+		line, err := rd.uint16()
+		if err != nil {
+			return nil, err
+		}
+		closed, err := rd.uint8()
+		if err != nil {
+			return nil, err
+		}
+		t.Statuses = append(t.Statuses, StatusReading{Line: line, Closed: closed != 0})
+	}
+	if rd.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, rd.remaining())
+	}
+	return t, nil
+}
+
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.pos }
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if r.remaining() < n {
+		return nil, fmt.Errorf("%w: truncated payload", ErrProtocol)
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *byteReader) uint8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *byteReader) uint16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *byteReader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}

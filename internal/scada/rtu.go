@@ -1,0 +1,137 @@
+package scada
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// RTU is a remote terminal unit serving one substation's telemetry: the
+// measurements physically located at its bus (paper Eq. 21's residency
+// rule) and the statuses of the lines whose breaker it owns (by convention,
+// the lines originating at the bus).
+type RTU struct {
+	Bus int
+
+	mu           sync.Mutex
+	measurements []MeasurementReading
+	statuses     []StatusReading
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	stop     chan struct{}
+}
+
+// NewRTU builds the RTU for a bus, deriving its measurement and breaker
+// ownership from the grid and plan.
+func NewRTU(g *grid.Grid, plan *measure.Plan, bus int) *RTU {
+	r := &RTU{Bus: bus, stop: make(chan struct{})}
+	for i := 1; i <= plan.M(); i++ {
+		if plan.Taken[i] && plan.BusOf(i, g) == bus {
+			r.measurements = append(r.measurements, MeasurementReading{Index: uint16(i)})
+		}
+	}
+	for _, ln := range g.Lines {
+		if ln.From == bus {
+			r.statuses = append(r.statuses, StatusReading{Line: uint16(ln.ID), Closed: ln.InService})
+		}
+	}
+	return r
+}
+
+// UpdateFromVector refreshes the RTU's measurement values from a full
+// measurement snapshot (only the indices this RTU owns are read).
+func (r *RTU) UpdateFromVector(z *measure.Vector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.measurements {
+		idx := int(r.measurements[i].Index)
+		if idx < len(z.Values) && z.Present[idx] {
+			r.measurements[i].Value = z.Values[idx]
+		}
+	}
+}
+
+// SetStatus updates a breaker status owned by this RTU.
+func (r *RTU) SetStatus(line int, closed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.statuses {
+		if int(r.statuses[i].Line) == line {
+			r.statuses[i].Closed = closed
+		}
+	}
+}
+
+// snapshot returns the current telemetry.
+func (r *RTU) snapshot() *Telemetry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &Telemetry{Bus: uint16(r.Bus)}
+	t.Measurements = append(t.Measurements, r.measurements...)
+	t.Statuses = append(t.Statuses, r.statuses...)
+	return t
+}
+
+// Listen starts serving on the given address (use "127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (r *RTU) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("scada: rtu listen: %w", err)
+	}
+	r.listener = l
+	r.wg.Add(1)
+	go r.serve()
+	return l.Addr().String(), nil
+}
+
+func (r *RTU) serve() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			select {
+			case <-r.stop:
+				return
+			default:
+				return // listener failed; nothing to clean up
+			}
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			r.handle(conn)
+		}()
+	}
+}
+
+func (r *RTU) handle(conn net.Conn) {
+	for {
+		msgType, _, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if msgType != MsgPoll {
+			return
+		}
+		if err := WriteFrame(conn, MsgTelemetry, r.snapshot().Encode()); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the RTU and waits for its goroutines to exit.
+func (r *RTU) Close() error {
+	close(r.stop)
+	var err error
+	if r.listener != nil {
+		err = r.listener.Close()
+	}
+	r.wg.Wait()
+	return err
+}

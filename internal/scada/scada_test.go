@@ -1,0 +1,242 @@
+package scada
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/se"
+	"gridattack/internal/topo"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	tel := &Telemetry{
+		Bus: 3,
+		Measurements: []MeasurementReading{
+			{Index: 6, Value: 0.123}, {Index: 17, Value: -0.4},
+		},
+		Statuses: []StatusReading{{Line: 6, Closed: true}, {Line: 3, Closed: false}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgTelemetry, tel.Encode()); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	msgType, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if msgType != MsgTelemetry {
+		t.Fatalf("type = %d, want %d", msgType, MsgTelemetry)
+	}
+	back, err := DecodeTelemetry(payload)
+	if err != nil {
+		t.Fatalf("DecodeTelemetry: %v", err)
+	}
+	if back.Bus != 3 || len(back.Measurements) != 2 || len(back.Statuses) != 2 {
+		t.Fatalf("decoded = %+v", back)
+	}
+	if back.Measurements[0].Value != 0.123 || back.Statuses[0].Line != 6 || !back.Statuses[0].Closed {
+		t.Errorf("decoded values wrong: %+v", back)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeTelemetry([]byte{1}); err == nil {
+		t.Error("want error for truncated payload")
+	}
+	tel := &Telemetry{Bus: 1}
+	payload := append(tel.Encode(), 0xFF)
+	if _, err := DecodeTelemetry(payload); err == nil {
+		t.Error("want error for trailing bytes")
+	}
+	// Bad magic.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 1, 0, 0})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("want error for bad magic")
+	}
+}
+
+// startGridSCADA brings up RTUs for every bus, loads them with measurements
+// from the operating point, and returns a ready collector plus a cleanup
+// function.
+func startGridSCADA(t *testing.T, g *grid.Grid, plan *measure.Plan, z *measure.Vector, mitmBuses map[int]*attack.Vector) (*Center, func()) {
+	t.Helper()
+	center := NewCenter(g, plan)
+	var closers []func()
+	for bus := 1; bus <= g.NumBuses(); bus++ {
+		rtu := NewRTU(g, plan, bus)
+		rtu.UpdateFromVector(z)
+		addr, err := rtu.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("rtu listen: %v", err)
+		}
+		closers = append(closers, func() { rtu.Close() })
+		if v, ok := mitmBuses[bus]; ok {
+			proxy := NewMITM(g, plan, addr)
+			proxy.SetVector(v)
+			proxyAddr, err := proxy.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("mitm listen: %v", err)
+			}
+			closers = append(closers, func() { proxy.Close() })
+			addr = proxyAddr
+		}
+		center.Register(bus, addr)
+	}
+	return center, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+func TestEndToEndHonestCollection(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, cleanup := startGridSCADA(t, g, plan, z, nil)
+	defer cleanup()
+
+	collected, report, err := center.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	// Every taken measurement arrived with the right value.
+	for i := 1; i <= plan.M(); i++ {
+		if plan.Taken[i] != collected.Present[i] {
+			t.Errorf("measurement %d presence = %v, want %v", i, collected.Present[i], plan.Taken[i])
+			continue
+		}
+		if plan.Taken[i] && math.Abs(collected.Values[i]-z.Values[i]) > 1e-12 {
+			t.Errorf("measurement %d = %v, want %v", i, collected.Values[i], z.Values[i])
+		}
+	}
+	// The topology processor maps the true topology.
+	proc := topo.NewProcessor(g)
+	mapped, err := proc.Map(report)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if d := proc.Compare(mapped); !d.Empty() {
+		t.Errorf("honest collection produced topology diff %+v", d)
+	}
+	// State estimation over the collected telemetry is clean.
+	est := se.NewEstimator(g, plan)
+	est.Threshold = 1e-6
+	res, err := est.Estimate(mapped, collected)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if res.BadData {
+		t.Errorf("honest telemetry flagged as bad data (residual %v)", res.Residual)
+	}
+}
+
+func TestEndToEndMITMAttack(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the Case Study 1 attack vector.
+	model, err := attack.NewModel(g, plan, attack.Capability{
+		MaxMeasurements: 8, MaxBuses: 3, RequireTopologyChange: true,
+	}, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := model.FindVector()
+	if err != nil || v == nil {
+		t.Fatalf("attack vector: %v %v", v, err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compromise exactly the substations the vector requires.
+	mitm := make(map[int]*attack.Vector, len(v.CompromisedBuses))
+	for _, bus := range v.CompromisedBuses {
+		mitm[bus] = v
+	}
+	center, cleanup := startGridSCADA(t, g, plan, z, mitm)
+	defer cleanup()
+
+	collected, report, err := center.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	proc := topo.NewProcessor(g)
+	mapped, err := proc.Map(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The topology processor was fooled: line 6 is gone.
+	if mapped.Contains(6) {
+		t.Fatal("MITM failed to unmap line 6")
+	}
+	// And the estimator accepts the poisoned telemetry.
+	est := se.NewEstimator(g, plan)
+	est.Threshold = 1e-6
+	res, err := est.Estimate(mapped, collected)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if res.BadData {
+		t.Errorf("attack detected over the wire (residual %v)", res.Residual)
+	}
+	// The operator's load picture shifted exactly as the vector intended.
+	dispatch := cases.Paper5OperatingDispatch()
+	for _, ld := range g.Loads {
+		got := res.LoadEstimate[ld.Bus-1] + dispatch[ld.Bus-1]
+		if math.Abs(got-v.ObservedLoads[ld.Bus-1]) > 1e-7 {
+			t.Errorf("bus %d: SE load %v, intended %v", ld.Bus, got, v.ObservedLoads[ld.Bus-1])
+		}
+	}
+}
+
+func TestRTUStatusOwnership(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	// Bus 3 owns line 6 (from-bus 3); bus 1 owns lines 1 and 2.
+	r3 := NewRTU(g, plan, 3)
+	if len(r3.statuses) != 1 || r3.statuses[0].Line != 6 {
+		t.Errorf("bus 3 statuses = %+v, want line 6", r3.statuses)
+	}
+	r1 := NewRTU(g, plan, 1)
+	if len(r1.statuses) != 2 {
+		t.Errorf("bus 1 statuses = %+v, want lines 1 and 2", r1.statuses)
+	}
+	r3.SetStatus(6, false)
+	if r3.statuses[0].Closed {
+		t.Error("SetStatus did not apply")
+	}
+}
+
+func TestCenterUnregisteredBusSkipped(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	center := NewCenter(g, plan)
+	// No RTUs registered: collection yields an empty report, which the
+	// topology processor then rejects for missing statuses.
+	_, report, err := center.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	proc := topo.NewProcessor(g)
+	if _, err := proc.Map(report); err == nil {
+		t.Error("mapping with missing statuses should fail")
+	}
+}

@@ -1,0 +1,247 @@
+package smt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridattack/internal/lp"
+)
+
+// TestSMTAgainstLPOnConjunctions cross-checks the SMT solver's sat/unsat
+// verdicts on random pure-conjunction linear systems against the float64 LP
+// simplex used elsewhere in the repository. Constraint data are small
+// integers over bounded variables, so both solvers are far from any
+// precision cliff and must agree exactly.
+func TestSMTAgainstLPOnConjunctions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(4)
+		nRows := 1 + rng.Intn(6)
+
+		type row struct {
+			coeffs []int
+			op     Op
+			rhs    int
+		}
+		rows := make([]row, nRows)
+		for i := range rows {
+			r := row{coeffs: make([]int, nVars)}
+			nonzero := false
+			for j := range r.coeffs {
+				r.coeffs[j] = rng.Intn(7) - 3
+				if r.coeffs[j] != 0 {
+					nonzero = true
+				}
+			}
+			if !nonzero {
+				r.coeffs[0] = 1
+			}
+			r.op = []Op{OpLE, OpGE, OpEQ}[rng.Intn(3)]
+			r.rhs = rng.Intn(11) - 5
+			rows[i] = r
+		}
+
+		// SMT side: variables bounded in [-10, 10] via atoms.
+		s := NewSolver()
+		xs := make([]int, nVars)
+		for j := range xs {
+			xs[j] = s.NewReal("")
+			s.Assert(AtomFloat(NewLinExpr().AddInt(1, xs[j]), OpGE, -10))
+			s.Assert(AtomFloat(NewLinExpr().AddInt(1, xs[j]), OpLE, 10))
+		}
+		for _, r := range rows {
+			e := NewLinExpr()
+			for j, c := range r.coeffs {
+				if c != 0 {
+					e.AddInt(int64(c), xs[j])
+				}
+			}
+			s.Assert(AtomFloat(e, r.op, float64(r.rhs)))
+		}
+		res, err := s.Check()
+		if err != nil {
+			return false
+		}
+
+		// LP side: same system as a feasibility problem.
+		p := lp.NewProblem()
+		lpVars := make([]int, nVars)
+		for j := range lpVars {
+			lpVars[j] = p.AddVariable(-10, 10, 0, "")
+		}
+		for _, r := range rows {
+			var terms []lp.Term
+			for j, c := range r.coeffs {
+				if c != 0 {
+					terms = append(terms, lp.Term{Var: lpVars[j], Coeff: float64(c)})
+				}
+			}
+			var sense lp.Sense
+			switch r.op {
+			case OpLE:
+				sense = lp.LE
+			case OpGE:
+				sense = lp.GE
+			default:
+				sense = lp.EQ
+			}
+			p.AddConstraint(terms, sense, float64(r.rhs))
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		lpFeasible := sol.Status == lp.Optimal
+
+		if (res == Sat) != lpFeasible {
+			t.Logf("seed %d: smt=%v lp=%v", seed, res, sol.Status)
+			return false
+		}
+		// On sat, the SMT model must satisfy every row exactly.
+		if res == Sat {
+			vals := make([]float64, nVars)
+			for j := range vals {
+				vals[j] = s.RealValueFloat(xs[j])
+			}
+			for _, r := range rows {
+				var lhs float64
+				for j, c := range r.coeffs {
+					lhs += float64(c) * vals[j]
+				}
+				switch r.op {
+				case OpLE:
+					if lhs > float64(r.rhs)+1e-9 {
+						return false
+					}
+				case OpGE:
+					if lhs < float64(r.rhs)-1e-9 {
+						return false
+					}
+				case OpEQ:
+					if math.Abs(lhs-float64(r.rhs)) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSMTAgainstLPWithDisjunctions stresses the boolean x theory interplay:
+// each constraint row is guarded by a fresh boolean and at least one of each
+// guard pair must hold; the SMT verdict must match brute force over the
+// guard assignments with the LP as the per-assignment oracle.
+func TestSMTAgainstLPWithDisjunctions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPairs := 1 + rng.Intn(3)
+		type row struct {
+			coeffs [2]int
+			rhs    int
+		}
+		pairs := make([][2]row, nPairs)
+		for i := range pairs {
+			for k := 0; k < 2; k++ {
+				r := row{rhs: rng.Intn(9) - 4}
+				r.coeffs[0] = rng.Intn(5) - 2
+				r.coeffs[1] = rng.Intn(5) - 2
+				if r.coeffs[0] == 0 && r.coeffs[1] == 0 {
+					r.coeffs[0] = 1
+				}
+				pairs[i][k] = r
+			}
+		}
+
+		build := func(mask int) bool {
+			// Feasibility when, for pair i, alternative (mask>>i)&1 must
+			// hold (rows are <= constraints).
+			p := lp.NewProblem()
+			v0 := p.AddVariable(-10, 10, 0, "")
+			v1 := p.AddVariable(-10, 10, 0, "")
+			for i, pr := range pairs {
+				r := pr[(mask>>i)&1]
+				p.AddConstraint([]lp.Term{{Var: v0, Coeff: float64(r.coeffs[0])}, {Var: v1, Coeff: float64(r.coeffs[1])}}, lp.LE, float64(r.rhs))
+			}
+			sol, err := p.Solve()
+			return err == nil && sol.Status == lp.Optimal
+		}
+		wantSat := false
+		for mask := 0; mask < 1<<nPairs; mask++ {
+			if build(mask) {
+				wantSat = true
+				break
+			}
+		}
+
+		s := NewSolver()
+		xs := []int{s.NewReal(""), s.NewReal("")}
+		for _, x := range xs {
+			s.Assert(AtomFloat(NewLinExpr().AddInt(1, x), OpGE, -10))
+			s.Assert(AtomFloat(NewLinExpr().AddInt(1, x), OpLE, 10))
+		}
+		for _, pr := range pairs {
+			alts := make([]*Formula, 2)
+			for k, r := range pr {
+				e := NewLinExpr()
+				if r.coeffs[0] != 0 {
+					e.AddInt(int64(r.coeffs[0]), xs[0])
+				}
+				if r.coeffs[1] != 0 {
+					e.AddInt(int64(r.coeffs[1]), xs[1])
+				}
+				alts[k] = AtomFloat(e, OpLE, float64(r.rhs))
+			}
+			s.Assert(Or(alts...))
+		}
+		res, err := s.Check()
+		if err != nil {
+			return false
+		}
+		return (res == Sat) == wantSat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRatFromFloat checks the small-denominator conversion.
+func TestRatFromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in  float64
+		num int64
+		den int64
+	}{
+		{0.5, 1, 2},
+		{0.15, 3, 20},
+		{-0.25, -1, 4},
+		{3, 3, 1},
+		{0, 0, 1},
+	} {
+		r := RatFromFloat(tc.in)
+		if r.Num().Int64() != tc.num || r.Denom().Int64() != tc.den {
+			t.Errorf("RatFromFloat(%v) = %v, want %d/%d", tc.in, r, tc.num, tc.den)
+		}
+	}
+	// Round-trip accuracy for arbitrary floats.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		f := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		r := RatFromFloat(f)
+		got, _ := r.Float64()
+		if math.Abs(got-f) > 1e-9*math.Max(1, math.Abs(f)) {
+			t.Fatalf("RatFromFloat(%v) = %v (err %v)", f, got, got-f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RatFromFloat(NaN) must panic")
+		}
+	}()
+	RatFromFloat(math.NaN())
+}

@@ -1,0 +1,390 @@
+package smt
+
+import (
+	"errors"
+)
+
+// ErrCanceled reports that the solve exceeded the configured conflict budget.
+var ErrCanceled = errors.New("smt: conflict budget exhausted")
+
+const (
+	varDecay      = 0.95
+	activityLimit = 1e100
+	lubyUnit      = 256 // conflicts per Luby restart unit
+)
+
+type clause struct {
+	lits    []literal
+	learned bool
+}
+
+// value of an assigned variable.
+type assignVal int8
+
+const (
+	unassigned assignVal = 0
+	assignTrue assignVal = 1
+	assignFals assignVal = -1
+)
+
+type satCore struct {
+	numVars  int
+	clauses  []*clause
+	watches  [][]*clause // indexed by literal
+	assign   []assignVal
+	level    []int
+	reason   []*clause
+	trail    []literal
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	phase    []bool
+
+	// Activity-ordered max-heap of candidate decision variables (lazy
+	// deletion: entries may be assigned; skipped at pop time).
+	heap    []int
+	heapPos []int // position in heap, -1 when absent
+
+	unsatisfiable bool
+
+	// Statistics.
+	decisions, conflicts, propagations int64
+}
+
+func newSATCore() *satCore {
+	return &satCore{varInc: 1}
+}
+
+func (c *satCore) newVar() int {
+	v := c.numVars
+	c.numVars++
+	c.assign = append(c.assign, unassigned)
+	c.level = append(c.level, 0)
+	c.reason = append(c.reason, nil)
+	c.activity = append(c.activity, 0)
+	c.phase = append(c.phase, false)
+	c.watches = append(c.watches, nil, nil)
+	c.heapPos = append(c.heapPos, -1)
+	c.heapInsert(v)
+	return v
+}
+
+// heapInsert pushes v into the decision heap if absent.
+func (c *satCore) heapInsert(v int) {
+	if c.heapPos[v] >= 0 {
+		return
+	}
+	c.heap = append(c.heap, v)
+	c.heapPos[v] = len(c.heap) - 1
+	c.siftUp(len(c.heap) - 1)
+}
+
+func (c *satCore) heapLess(i, j int) bool {
+	return c.activity[c.heap[i]] > c.activity[c.heap[j]]
+}
+
+func (c *satCore) heapSwap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.heapPos[c.heap[i]] = i
+	c.heapPos[c.heap[j]] = j
+}
+
+func (c *satCore) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.heapLess(i, parent) {
+			return
+		}
+		c.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (c *satCore) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(c.heap) && c.heapLess(l, best) {
+			best = l
+		}
+		if r < len(c.heap) && c.heapLess(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		c.heapSwap(i, best)
+		i = best
+	}
+}
+
+// heapPop removes and returns the highest-activity entry, or -1 when empty.
+func (c *satCore) heapPop() int {
+	if len(c.heap) == 0 {
+		return -1
+	}
+	v := c.heap[0]
+	last := len(c.heap) - 1
+	c.heapSwap(0, last)
+	c.heap = c.heap[:last]
+	c.heapPos[v] = -1
+	if last > 0 {
+		c.siftDown(0)
+	}
+	return v
+}
+
+func (c *satCore) decisionLevel() int { return len(c.trailLim) }
+
+// litValue returns the truth value of a literal under the current assignment.
+func (c *satCore) litValue(l literal) assignVal {
+	v := c.assign[l.variable()]
+	if v == unassigned {
+		return unassigned
+	}
+	if l.negated() {
+		return -v
+	}
+	return v
+}
+
+// addClause installs a clause, handling empty/unit/duplicate-literal cases.
+// Must be called at decision level 0.
+func (c *satCore) addClause(lits []literal) {
+	// Deduplicate and drop tautologies.
+	seen := make(map[literal]bool, len(lits))
+	out := lits[:0:0]
+	for _, l := range lits {
+		if seen[l.not()] {
+			return // tautology: l and not(l) both present
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	// Drop literals already false at level 0 and detect satisfied clauses.
+	filtered := out[:0]
+	for _, l := range out {
+		switch c.litValue(l) {
+		case assignTrue:
+			if c.level[l.variable()] == 0 {
+				return // satisfied forever
+			}
+			filtered = append(filtered, l)
+		case assignFals:
+			if c.level[l.variable()] == 0 {
+				continue // false forever
+			}
+			filtered = append(filtered, l)
+		default:
+			filtered = append(filtered, l)
+		}
+	}
+	switch len(filtered) {
+	case 0:
+		c.unsatisfiable = true
+	case 1:
+		if !c.enqueue(filtered[0], nil) {
+			c.unsatisfiable = true
+		}
+	default:
+		cl := &clause{lits: append([]literal(nil), filtered...)}
+		c.attach(cl)
+		c.clauses = append(c.clauses, cl)
+	}
+}
+
+func (c *satCore) attach(cl *clause) {
+	c.watches[cl.lits[0].not()] = append(c.watches[cl.lits[0].not()], cl)
+	c.watches[cl.lits[1].not()] = append(c.watches[cl.lits[1].not()], cl)
+}
+
+// enqueue records that literal l is implied (reason may be nil for
+// decisions/level-0 facts). It returns false when l is already false.
+func (c *satCore) enqueue(l literal, from *clause) bool {
+	switch c.litValue(l) {
+	case assignTrue:
+		return true
+	case assignFals:
+		return false
+	}
+	v := l.variable()
+	if l.negated() {
+		c.assign[v] = assignFals
+	} else {
+		c.assign[v] = assignTrue
+	}
+	c.level[v] = c.decisionLevel()
+	c.reason[v] = from
+	c.phase[v] = !l.negated()
+	c.trail = append(c.trail, l)
+	return true
+}
+
+// propagate runs unit propagation to fixpoint. It returns the conflicting
+// clause, or nil.
+func (c *satCore) propagate() *clause {
+	for c.qhead < len(c.trail) {
+		p := c.trail[c.qhead] // p is true; clauses watching not(p) may become unit
+		c.qhead++
+		c.propagations++
+		ws := c.watches[p]
+		c.watches[p] = nil
+		for wi := 0; wi < len(ws); wi++ {
+			cl := ws[wi]
+			// Ensure lits[1] is the false literal (== not(p)).
+			if cl.lits[0] == p.not() {
+				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
+			}
+			if c.litValue(cl.lits[0]) == assignTrue {
+				c.watches[p] = append(c.watches[p], cl)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(cl.lits); k++ {
+				if c.litValue(cl.lits[k]) != assignFals {
+					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					c.watches[cl.lits[1].not()] = append(c.watches[cl.lits[1].not()], cl)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			c.watches[p] = append(c.watches[p], cl)
+			if !c.enqueue(cl.lits[0], cl) {
+				// Conflict: restore remaining watches and report.
+				c.watches[p] = append(c.watches[p], ws[wi+1:]...)
+				c.qhead = len(c.trail)
+				return cl
+			}
+		}
+	}
+	return nil
+}
+
+// analyze performs 1UIP conflict analysis. The conflicting clause's literals
+// must all be false, with at least one at the current decision level. It
+// returns the learned clause (asserting literal first) and the backjump
+// level.
+func (c *satCore) analyze(confl *clause) ([]literal, int) {
+	seen := make([]bool, c.numVars)
+	learnt := []literal{0} // placeholder for the asserting literal
+	counter := 0
+	idx := len(c.trail) - 1
+	var p literal
+	reasonLits := confl.lits
+
+	for {
+		for _, q := range reasonLits {
+			v := q.variable()
+			if seen[v] || c.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			c.bumpActivity(v)
+			if c.level[v] == c.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next marked literal on the trail.
+		for !seen[c.trail[idx].variable()] {
+			idx--
+		}
+		p = c.trail[idx]
+		idx--
+		seen[p.variable()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		r := c.reason[p.variable()]
+		// Skip the first literal of the reason (it is p itself).
+		reasonLits = r.lits[1:]
+	}
+	learnt[0] = p.not()
+
+	// Backjump level: highest level among the other literals.
+	bt := 0
+	for i := 1; i < len(learnt); i++ {
+		if l := c.level[learnt[i].variable()]; l > bt {
+			bt = l
+		}
+	}
+	// Move a literal of the backjump level to position 1 (watch invariant).
+	for i := 1; i < len(learnt); i++ {
+		if c.level[learnt[i].variable()] == bt {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	return learnt, bt
+}
+
+func (c *satCore) bumpActivity(v int) {
+	c.activity[v] += c.varInc
+	if c.activity[v] > activityLimit {
+		// Rescaling divides every activity by the same factor, preserving
+		// the heap order.
+		for i := range c.activity {
+			c.activity[i] /= activityLimit
+		}
+		c.varInc /= activityLimit
+	}
+	if c.heapPos[v] >= 0 {
+		c.siftUp(c.heapPos[v])
+	}
+}
+
+func (c *satCore) decayActivity() {
+	c.varInc /= varDecay
+}
+
+// cancelUntil undoes all assignments above the given decision level.
+func (c *satCore) cancelUntil(level int) {
+	if c.decisionLevel() <= level {
+		return
+	}
+	lim := c.trailLim[level]
+	for i := len(c.trail) - 1; i >= lim; i-- {
+		v := c.trail[i].variable()
+		c.assign[v] = unassigned
+		c.reason[v] = nil
+		c.heapInsert(v)
+	}
+	c.trail = c.trail[:lim]
+	c.trailLim = c.trailLim[:level]
+	c.qhead = len(c.trail)
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity,
+// or -1 when all variables are assigned.
+func (c *satCore) pickBranchVar() int {
+	for {
+		v := c.heapPop()
+		if v < 0 || c.assign[v] == unassigned {
+			return v
+		}
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i int) int64 {
+	for k := uint(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package smt
+
+import (
+	"errors"
+	"math/big"
+	"sort"
+	"time"
+)
+
+// simplex is an incremental feasibility checker for conjunctions of bounds
+// over linear-arithmetic variables, following Dutertre & de Moura's general
+// simplex for DPLL(T). Variables 0..nOrig-1 are the user's real variables;
+// slack variables introduced for multi-term linear forms follow.
+//
+// Invariants:
+//   - every basic variable b has a row: b = sum(coeff_j * x_j) over nonbasic j;
+//   - the assignment beta satisfies every row equation exactly;
+//   - every *nonbasic* variable satisfies its bounds; only basic variables
+//     may violate bounds between check() calls.
+type simplex struct {
+	nVars int
+	rows  map[int]map[int]*big.Rat // basic var -> {nonbasic var -> coeff}
+	basic []bool
+	beta  []DRat
+	lb    []bound
+	ub    []bound
+
+	// basicList mirrors the keys of rows in ascending order (for Bland's
+	// rule) and is maintained incrementally across pivots.
+	basicList []int
+	// needCheck records whether any bound was tightened (or a conflict
+	// left the tableau unvalidated) since the last successful check; when
+	// false, check() is a no-op.
+	needCheck bool
+
+	trail []bndUndo
+	lims  []int
+
+	// deadline, when non-zero, cancels long check() runs (polled every few
+	// pivots); the tableau stays consistent on cancellation.
+	deadline time.Time
+
+	pivots int // statistics
+}
+
+// errCheckCanceled reports a check() aborted by the deadline.
+var errCheckCanceled = errors.New("smt: simplex check canceled")
+
+type bndUndo struct {
+	v       int
+	isUpper bool
+	old     bound
+}
+
+// theoryConflict is a set of literals that cannot be jointly true.
+type theoryConflict struct {
+	lits []literal
+}
+
+func newSimplex() *simplex {
+	return &simplex{rows: make(map[int]map[int]*big.Rat)}
+}
+
+// addVar appends a fresh arithmetic variable and returns its index.
+func (s *simplex) addVar() int {
+	v := s.nVars
+	s.nVars++
+	s.basic = append(s.basic, false)
+	s.beta = append(s.beta, DRatFromInt(0))
+	s.lb = append(s.lb, bound{})
+	s.ub = append(s.ub, bound{})
+	return v
+}
+
+// addSlack introduces a new basic variable defined as the given linear form
+// over existing variables and returns its index. The form's variables may
+// themselves be basic; their rows are substituted so the new row only
+// references nonbasic variables.
+func (s *simplex) addSlack(terms []LinTerm) int {
+	v := s.addVar()
+	row := make(map[int]*big.Rat, len(terms))
+	val := DRatFromInt(0)
+	for _, t := range terms {
+		if s.basic[t.Var] {
+			for j, c := range s.rows[t.Var] {
+				addCoeff(row, j, new(big.Rat).Mul(t.Coeff, c))
+			}
+		} else {
+			addCoeff(row, t.Var, t.Coeff)
+		}
+		val = val.Add(s.beta[t.Var].ScaleRat(t.Coeff))
+	}
+	s.rows[v] = row
+	s.basic[v] = true
+	s.basicInsert(v)
+	s.beta[v] = val
+	return v
+}
+
+// basicInsert adds v to the sorted basic list.
+func (s *simplex) basicInsert(v int) {
+	i := sort.SearchInts(s.basicList, v)
+	s.basicList = append(s.basicList, 0)
+	copy(s.basicList[i+1:], s.basicList[i:])
+	s.basicList[i] = v
+}
+
+// basicRemove removes v from the sorted basic list.
+func (s *simplex) basicRemove(v int) {
+	i := sort.SearchInts(s.basicList, v)
+	if i < len(s.basicList) && s.basicList[i] == v {
+		s.basicList = append(s.basicList[:i], s.basicList[i+1:]...)
+	}
+}
+
+func addCoeff(row map[int]*big.Rat, v int, c *big.Rat) {
+	if cur, ok := row[v]; ok {
+		cur.Add(cur, c)
+		if cur.Sign() == 0 {
+			delete(row, v)
+		}
+	} else if c.Sign() != 0 {
+		row[v] = new(big.Rat).Set(c)
+	}
+}
+
+// push marks a backtracking point aligned with a SAT decision level.
+func (s *simplex) push() {
+	s.lims = append(s.lims, len(s.trail))
+}
+
+// popTo undoes all bound assertions made above SAT decision level `level`.
+func (s *simplex) popTo(level int) {
+	if level >= len(s.lims) {
+		return
+	}
+	mark := s.lims[level]
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		u := s.trail[i]
+		if u.isUpper {
+			s.ub[u.v] = u.old
+		} else {
+			s.lb[u.v] = u.old
+		}
+	}
+	s.trail = s.trail[:mark]
+	s.lims = s.lims[:level]
+}
+
+// assertBound applies the bound implied by a theory literal. It returns a
+// conflict when the new bound contradicts the opposite bound already
+// asserted, and nil otherwise.
+func (s *simplex) assertBound(v int, isUpper bool, val DRat, reason literal) *theoryConflict {
+	if isUpper {
+		if s.lb[v].active && val.Cmp(s.lb[v].val) < 0 {
+			return &theoryConflict{lits: []literal{reason, s.lb[v].reason}}
+		}
+		if s.ub[v].active && val.Cmp(s.ub[v].val) >= 0 {
+			return nil // not tighter
+		}
+		s.trail = append(s.trail, bndUndo{v: v, isUpper: true, old: s.ub[v]})
+		s.ub[v] = bound{val: val, reason: reason, active: true}
+		s.needCheck = true
+		if !s.basic[v] && s.beta[v].Cmp(val) > 0 {
+			s.update(v, val)
+		}
+		return nil
+	}
+	if s.ub[v].active && val.Cmp(s.ub[v].val) > 0 {
+		return &theoryConflict{lits: []literal{reason, s.ub[v].reason}}
+	}
+	if s.lb[v].active && val.Cmp(s.lb[v].val) <= 0 {
+		return nil
+	}
+	s.trail = append(s.trail, bndUndo{v: v, isUpper: false, old: s.lb[v]})
+	s.lb[v] = bound{val: val, reason: reason, active: true}
+	s.needCheck = true
+	if !s.basic[v] && s.beta[v].Cmp(val) < 0 {
+		s.update(v, val)
+	}
+	return nil
+}
+
+// update moves nonbasic variable v to value val, adjusting every basic
+// variable's assignment to keep the row equations satisfied.
+func (s *simplex) update(v int, val DRat) {
+	delta := val.Sub(s.beta[v])
+	for b, row := range s.rows {
+		if c, ok := row[v]; ok {
+			s.beta[b] = s.beta[b].Add(delta.ScaleRat(c))
+		}
+	}
+	s.beta[v] = val
+}
+
+// check restores bound satisfaction for basic variables, pivoting as needed.
+// It returns nil when the current bounds are satisfiable, or a conflict
+// (the set of bound literals forming an infeasible row) otherwise.
+//
+// Pivot selection starts in a heuristic phase (largest violation, largest
+// eligible pivot coefficient) which is dramatically faster in practice, and
+// falls back to Bland's rule — which guarantees termination — after a pivot
+// budget proportional to the problem size is spent.
+func (s *simplex) check() *theoryConflict {
+	c, _ := s.checkWithin(time.Time{})
+	return c
+}
+
+// checkWithin is check with an optional wall-clock deadline; on timeout the
+// bounds stay asserted, needCheck stays true, and errCheckCanceled is
+// returned.
+func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
+	if !s.needCheck {
+		return nil, nil
+	}
+	heuristicBudget := 100 + 4*s.nVars
+	for pivots := 0; ; pivots++ {
+		if !deadline.IsZero() && pivots%32 == 31 && time.Now().After(deadline) {
+			return nil, errCheckCanceled
+		}
+		bland := pivots >= heuristicBudget
+		b := -1
+		var needRaise bool
+		if bland {
+			// Bland's rule: smallest violating basic variable.
+			for _, cand := range s.basicList {
+				if s.lb[cand].active && s.beta[cand].Cmp(s.lb[cand].val) < 0 {
+					b, needRaise = cand, true
+					break
+				}
+				if s.ub[cand].active && s.beta[cand].Cmp(s.ub[cand].val) > 0 {
+					b, needRaise = cand, false
+					break
+				}
+			}
+		} else {
+			// Heuristic: the basic variable with the largest violation.
+			var worst DRat
+			for _, cand := range s.basicList {
+				if s.lb[cand].active && s.beta[cand].Cmp(s.lb[cand].val) < 0 {
+					gap := s.lb[cand].val.Sub(s.beta[cand])
+					if b < 0 || gap.Cmp(worst) > 0 {
+						b, needRaise, worst = cand, true, gap
+					}
+				}
+				if s.ub[cand].active && s.beta[cand].Cmp(s.ub[cand].val) > 0 {
+					gap := s.beta[cand].Sub(s.ub[cand].val)
+					if b < 0 || gap.Cmp(worst) > 0 {
+						b, needRaise, worst = cand, false, gap
+					}
+				}
+			}
+		}
+		if b < 0 {
+			s.needCheck = false
+			return nil, nil
+		}
+		row := s.rows[b]
+		cols := make([]int, 0, len(row))
+		for j := range row {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		eligible := func(j int) bool {
+			c := row[j]
+			if needRaise {
+				// beta[b] must increase: raise x_j if coeff > 0 and x_j can
+				// grow, or lower x_j if coeff < 0 and x_j can shrink.
+				return (c.Sign() > 0 && (!s.ub[j].active || s.beta[j].Cmp(s.ub[j].val) < 0)) ||
+					(c.Sign() < 0 && (!s.lb[j].active || s.beta[j].Cmp(s.lb[j].val) > 0))
+			}
+			return (c.Sign() > 0 && (!s.lb[j].active || s.beta[j].Cmp(s.lb[j].val) > 0)) ||
+				(c.Sign() < 0 && (!s.ub[j].active || s.beta[j].Cmp(s.ub[j].val) < 0))
+		}
+		pivotCol := -1
+		if bland {
+			for _, j := range cols {
+				if eligible(j) {
+					pivotCol = j
+					break
+				}
+			}
+		} else {
+			// Largest |coefficient| among eligible columns: fewer, better
+			// conditioned pivots.
+			var best *big.Rat
+			for _, j := range cols {
+				if !eligible(j) {
+					continue
+				}
+				abs := new(big.Rat).Abs(row[j])
+				if pivotCol < 0 || abs.Cmp(best) > 0 {
+					pivotCol = j
+					best = abs
+				}
+			}
+		}
+		if pivotCol < 0 {
+			// The row is stuck at every limit: the violated bound on b plus
+			// the limiting bounds of the row variables are jointly
+			// infeasible.
+			confl := &theoryConflict{}
+			if needRaise {
+				confl.lits = append(confl.lits, s.lb[b].reason)
+			} else {
+				confl.lits = append(confl.lits, s.ub[b].reason)
+			}
+			for _, j := range cols {
+				c := row[j]
+				if (needRaise && c.Sign() > 0) || (!needRaise && c.Sign() < 0) {
+					confl.lits = append(confl.lits, s.ub[j].reason)
+				} else {
+					confl.lits = append(confl.lits, s.lb[j].reason)
+				}
+			}
+			return confl, nil
+		}
+		var target DRat
+		if needRaise {
+			target = s.lb[b].val
+		} else {
+			target = s.ub[b].val
+		}
+		s.pivotAndUpdate(b, pivotCol, target)
+	}
+}
+
+// pivotAndUpdate sets basic variable b to value target by moving nonbasic
+// variable j, then swaps their roles in the tableau.
+func (s *simplex) pivotAndUpdate(b, j int, target DRat) {
+	s.pivots++
+	a := s.rows[b][j]
+	theta := target.Sub(s.beta[b]).ScaleRat(new(big.Rat).Inv(a))
+	s.beta[b] = target
+	s.beta[j] = s.beta[j].Add(theta)
+	for other, row := range s.rows {
+		if other == b {
+			continue
+		}
+		if c, ok := row[j]; ok {
+			s.beta[other] = s.beta[other].Add(theta.ScaleRat(c))
+		}
+	}
+	s.pivot(b, j)
+}
+
+// pivot swaps basic variable b with nonbasic variable j.
+func (s *simplex) pivot(b, j int) {
+	rowB := s.rows[b]
+	a := rowB[j]
+	inv := new(big.Rat).Inv(a)
+
+	// Row for j: x_j = (x_b - sum_{k != j} c_k x_k) / a.
+	newRow := make(map[int]*big.Rat, len(rowB))
+	newRow[b] = new(big.Rat).Set(inv)
+	for k, c := range rowB {
+		if k == j {
+			continue
+		}
+		newRow[k] = new(big.Rat).Neg(new(big.Rat).Mul(c, inv))
+	}
+	delete(s.rows, b)
+	s.basic[b] = false
+	s.basicRemove(b)
+	s.rows[j] = newRow
+	s.basic[j] = true
+	s.basicInsert(j)
+
+	// Substitute x_j in every other row.
+	for other, row := range s.rows {
+		if other == j {
+			continue
+		}
+		c, ok := row[j]
+		if !ok {
+			continue
+		}
+		factor := new(big.Rat).Set(c)
+		delete(row, j)
+		for k, jc := range newRow {
+			addCoeff(row, k, new(big.Rat).Mul(factor, jc))
+		}
+	}
+}
+
+// concreteDelta computes a positive rational value for the symbolic delta
+// such that substituting it preserves every currently satisfied bound.
+func (s *simplex) concreteDelta() *big.Rat {
+	delta := big.NewRat(1, 1)
+	consider := func(lo, hi DRat) {
+		// Need lo <= hi after substitution: (hi.A - lo.A) + (hi.B - lo.B)*d >= 0.
+		da := new(big.Rat).Sub(hi.A, lo.A)
+		db := new(big.Rat).Sub(hi.B, lo.B)
+		if db.Sign() >= 0 {
+			return // holds for any positive delta
+		}
+		// d <= da / -db; da > 0 here because the DRat order holds.
+		limit := new(big.Rat).Quo(da, new(big.Rat).Neg(db))
+		if limit.Cmp(delta) < 0 {
+			delta.Set(limit)
+		}
+	}
+	for v := 0; v < s.nVars; v++ {
+		if s.lb[v].active {
+			consider(s.lb[v].val, s.beta[v])
+		}
+		if s.ub[v].active {
+			consider(s.beta[v], s.ub[v].val)
+		}
+	}
+	// Halve to stay strictly inside every strict bound.
+	return delta.Mul(delta, big.NewRat(1, 2))
+}
+
+// value returns the concrete rational value of variable v using the given
+// delta substitution.
+func (s *simplex) value(v int, delta *big.Rat) *big.Rat {
+	return s.beta[v].Substitute(delta)
+}

@@ -1,0 +1,401 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Result is the outcome of a Check call.
+type Result int
+
+// Check outcomes.
+const (
+	Sat Result = iota + 1
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Stats reports solver effort counters.
+type Stats struct {
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64
+	Pivots       int64
+	SATVars      int
+	Clauses      int
+	RealVars     int
+}
+
+// Solver is an incremental SMT solver for QF_LRA. Typical use:
+//
+//	s := smt.NewSolver()
+//	p := s.NewBool("p")
+//	x := s.NewReal("x")
+//	s.Assert(smt.Implies(smt.Bool(p), smt.AtomFloat(smt.NewLinExpr().AddInt(1, x), smt.OpGE, 2)))
+//	if res, _ := s.Check(); res == smt.Sat { ... s.RealValueFloat(x) ... }
+//
+// Additional assertions (e.g. blocking clauses) may be added after a Check;
+// learned clauses are retained across calls.
+type Solver struct {
+	core *satCore
+	simp *simplex
+
+	boolNames []string
+	realNames []string
+
+	trueVar int
+
+	atoms        map[int]*atomInfo // SAT var -> theory meaning
+	atomVars     map[string]int    // canonical atom key -> SAT var
+	formSlacks   map[string]int    // canonical form key -> simplex var
+	tseitinCache map[*Formula]literal
+
+	theoryHead int // trail index up to which bounds were sent to the theory
+
+	// MaxConflicts bounds the search effort per Check call; 0 means
+	// unlimited. When exceeded, Check returns ErrCanceled.
+	MaxConflicts int64
+
+	// MaxDuration bounds wall-clock time per Check call; 0 means unlimited.
+	// Checked at every conflict and every restart, so a Check may overshoot
+	// by at most one theory-check's duration. When exceeded, Check returns
+	// ErrCanceled.
+	MaxDuration time.Duration
+
+	model      bool // a model is available from the last Check
+	modelDelta *big.Rat
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{
+		core:         newSATCore(),
+		simp:         newSimplex(),
+		atoms:        make(map[int]*atomInfo),
+		atomVars:     make(map[string]int),
+		formSlacks:   make(map[string]int),
+		tseitinCache: make(map[*Formula]literal),
+	}
+	s.trueVar = s.core.newVar()
+	s.core.addClause([]literal{mkLit(s.trueVar, false)})
+	return s
+}
+
+// NewBool allocates a fresh boolean variable and returns its index for use
+// with Bool().
+func (s *Solver) NewBool(name string) int {
+	v := s.core.newVar()
+	s.boolNames = append(s.boolNames, name)
+	return v
+}
+
+// NewReal allocates a fresh real-valued variable and returns its index for
+// use in linear expressions.
+func (s *Solver) NewReal(name string) int {
+	v := s.simp.addVar()
+	s.realNames = append(s.realNames, name)
+	return v
+}
+
+// newSATVar allocates an internal SAT variable (atoms, Tseitin auxiliaries).
+func (s *Solver) newSATVar() int { return s.core.newVar() }
+
+// addClause adds a clause at decision level 0, undoing any in-progress
+// search first.
+func (s *Solver) addClause(lits []literal) {
+	s.core.addClause(lits)
+}
+
+// Assert adds formula f to the solver's constraints. Assertions are
+// permanent (no push/pop scoping); blocking-clause style iteration simply
+// asserts more formulas between Check calls.
+func (s *Solver) Assert(f *Formula) {
+	s.backtrackAll()
+	s.model = false
+	s.assertCNF(f)
+}
+
+// AssertAtMostK asserts that at most k of the given boolean variables are
+// true, using the Sinz sequential-counter encoding.
+func (s *Solver) AssertAtMostK(vars []int, k int) {
+	s.backtrackAll()
+	s.model = false
+	n := len(vars)
+	if k < 0 {
+		s.addClause(nil)
+		return
+	}
+	if k == 0 {
+		for _, v := range vars {
+			s.addClause([]literal{mkLit(v, true)})
+		}
+		return
+	}
+	if n <= k {
+		return
+	}
+	// reg[i][j] is true when at least j+1 of vars[0..i] are true.
+	reg := make([][]int, n-1)
+	for i := range reg {
+		reg[i] = make([]int, k)
+		for j := range reg[i] {
+			reg[i][j] = s.newSATVar()
+		}
+	}
+	x := func(i int) literal { return mkLit(vars[i], false) }
+	r := func(i, j int) literal { return mkLit(reg[i][j], false) }
+
+	s.addClause([]literal{x(0).not(), r(0, 0)})
+	for j := 1; j < k; j++ {
+		s.addClause([]literal{r(0, j).not()})
+	}
+	for i := 1; i < n-1; i++ {
+		s.addClause([]literal{x(i).not(), r(i, 0)})
+		s.addClause([]literal{r(i-1, 0).not(), r(i, 0)})
+		for j := 1; j < k; j++ {
+			s.addClause([]literal{x(i).not(), r(i-1, j-1).not(), r(i, j)})
+			s.addClause([]literal{r(i-1, j).not(), r(i, j)})
+		}
+		s.addClause([]literal{x(i).not(), r(i-1, k-1).not()})
+	}
+	s.addClause([]literal{x(n - 1).not(), r(n-2, k-1).not()})
+}
+
+// AssertAtLeastOne asserts that at least one of the boolean variables is
+// true.
+func (s *Solver) AssertAtLeastOne(vars []int) {
+	s.backtrackAll()
+	s.model = false
+	lits := make([]literal, len(vars))
+	for i, v := range vars {
+		lits[i] = mkLit(v, false)
+	}
+	s.addClause(lits)
+}
+
+func (s *Solver) backtrackAll() {
+	s.core.cancelUntil(0)
+	s.simp.popTo(0)
+	s.theoryHead = min(s.theoryHead, len(s.core.trail))
+}
+
+// Check decides satisfiability of the asserted formulas. On Sat, a model is
+// available through BoolValue/RealValue.
+func (s *Solver) Check() (Result, error) {
+	s.model = false
+	if s.core.unsatisfiable {
+		return Unsat, nil
+	}
+	s.backtrackAll()
+
+	var conflictsAtStart = s.core.conflicts
+	restartCount := 1
+	conflictBudget := lubyUnit * luby(restartCount)
+	conflictsThisRestart := int64(0)
+	var deadline time.Time
+	if s.MaxDuration > 0 {
+		deadline = time.Now().Add(s.MaxDuration)
+	}
+	decisionsSinceClock := 0
+
+	for {
+		confl := s.core.propagate()
+		var tconfl *theoryConflict
+		if confl == nil {
+			tconfl = s.drainTheory()
+			if tconfl == nil && s.theoryFullCheckNeeded() {
+				var err error
+				tconfl, err = s.simp.checkWithin(deadline)
+				if err != nil {
+					return 0, ErrCanceled
+				}
+			}
+		}
+		if confl != nil || tconfl != nil {
+			s.core.conflicts++
+			conflictsThisRestart++
+			if s.MaxConflicts > 0 && s.core.conflicts-conflictsAtStart > s.MaxConflicts {
+				return 0, ErrCanceled
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, ErrCanceled
+			}
+			if tconfl != nil {
+				cl, lvl := s.theoryConflictClause(tconfl)
+				if cl == nil {
+					return Unsat, nil
+				}
+				if lvl < s.core.decisionLevel() {
+					s.core.cancelUntil(lvl)
+					s.simp.popTo(lvl)
+					s.theoryHead = min(s.theoryHead, len(s.core.trail))
+				}
+				confl = cl
+			}
+			if s.core.decisionLevel() == 0 {
+				return Unsat, nil
+			}
+			learnt, bt := s.core.analyze(confl)
+			s.core.cancelUntil(bt)
+			s.simp.popTo(bt)
+			s.theoryHead = min(s.theoryHead, len(s.core.trail))
+			if len(learnt) == 1 {
+				if !s.core.enqueue(learnt[0], nil) {
+					return Unsat, nil
+				}
+			} else {
+				cl := &clause{lits: learnt, learned: true}
+				s.core.clauses = append(s.core.clauses, cl)
+				s.core.attach(cl)
+				if !s.core.enqueue(learnt[0], cl) {
+					return Unsat, nil
+				}
+			}
+			s.core.decayActivity()
+			continue
+		}
+
+		if conflictsThisRestart >= conflictBudget {
+			restartCount++
+			conflictBudget = lubyUnit * luby(restartCount)
+			conflictsThisRestart = 0
+			s.core.cancelUntil(0)
+			s.simp.popTo(0)
+			s.theoryHead = min(s.theoryHead, len(s.core.trail))
+			continue
+		}
+
+		decisionsSinceClock++
+		if decisionsSinceClock >= 512 {
+			decisionsSinceClock = 0
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, ErrCanceled
+			}
+		}
+
+		v := s.core.pickBranchVar()
+		if v < 0 {
+			// Complete assignment, theory-consistent: SAT.
+			tc, err := s.simp.checkWithin(deadline)
+			if err != nil {
+				return 0, ErrCanceled
+			}
+			if tc != nil {
+				// Should have been caught above; treat as a conflict.
+				cl, lvl := s.theoryConflictClause(tc)
+				if cl == nil {
+					return Unsat, nil
+				}
+				s.core.cancelUntil(lvl)
+				s.simp.popTo(lvl)
+				s.theoryHead = min(s.theoryHead, len(s.core.trail))
+				continue
+			}
+			s.model = true
+			s.modelDelta = s.simp.concreteDelta()
+			return Sat, nil
+		}
+		s.core.decisions++
+		s.core.trailLim = append(s.core.trailLim, len(s.core.trail))
+		s.simp.push()
+		s.core.enqueue(mkLit(v, !s.core.phase[v]), nil)
+	}
+}
+
+// theoryFullCheckNeeded reports whether a full simplex check should run at
+// this point. We run it at every propagation fixpoint: exact but potentially
+// slow; fine at the problem sizes of the paper's evaluation.
+func (s *Solver) theoryFullCheckNeeded() bool { return true }
+
+// drainTheory forwards newly assigned theory literals to the simplex.
+func (s *Solver) drainTheory() *theoryConflict {
+	for s.theoryHead < len(s.core.trail) {
+		l := s.core.trail[s.theoryHead]
+		s.theoryHead++
+		info, ok := s.atoms[l.variable()]
+		if !ok {
+			continue
+		}
+		var isUpper bool
+		var val DRat
+		if l.negated() {
+			isUpper, val = info.negBound()
+		} else {
+			isUpper, val = info.posBound()
+		}
+		if confl := s.simp.assertBound(info.slack, isUpper, val, l); confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// theoryConflictClause converts a theory conflict (set of jointly
+// inconsistent literals) into a conflicting clause (all literals false under
+// the current assignment) and the decision level at which it is conflicting.
+// A nil clause means the conflict holds at level 0: unsatisfiable.
+func (s *Solver) theoryConflictClause(tc *theoryConflict) (*clause, int) {
+	lits := make([]literal, 0, len(tc.lits))
+	maxLevel := 0
+	for _, l := range tc.lits {
+		lits = append(lits, l.not())
+		if lvl := s.core.level[l.variable()]; lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	if maxLevel == 0 {
+		return nil, 0
+	}
+	return &clause{lits: lits, learned: true}, maxLevel
+}
+
+// BoolValue returns the model value of boolean variable v. Valid only after
+// a Sat result.
+func (s *Solver) BoolValue(v int) bool {
+	if !s.model {
+		panic("smt: BoolValue called without a model")
+	}
+	return s.core.assign[v] == assignTrue
+}
+
+// RealValue returns the model value of real variable v as an exact rational.
+// Valid only after a Sat result.
+func (s *Solver) RealValue(v int) *big.Rat {
+	if !s.model {
+		panic("smt: RealValue called without a model")
+	}
+	return s.simp.value(v, s.modelDelta)
+}
+
+// RealValueFloat returns the model value of real variable v as a float64.
+func (s *Solver) RealValueFloat(v int) float64 {
+	f, _ := s.RealValue(v).Float64()
+	return f
+}
+
+// HasModel reports whether a model from the last Check is available.
+func (s *Solver) HasModel() bool { return s.model }
+
+// Stats returns effort counters accumulated across all Check calls.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Decisions:    s.core.decisions,
+		Conflicts:    s.core.conflicts,
+		Propagations: s.core.propagations,
+		Pivots:       int64(s.simp.pivots),
+		SATVars:      s.core.numVars,
+		Clauses:      len(s.core.clauses),
+		RealVars:     s.simp.nVars,
+	}
+}

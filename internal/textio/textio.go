@@ -1,0 +1,305 @@
+// Package textio reads and writes the paper's text-based input format
+// (Sec. III-F and Tables II/III): topology (line) information, measurement
+// information, the attacker's resource limitation, bus types, generator and
+// load data, and the cost constraint with the minimum cost increase. It also
+// renders the output file the framework produces.
+package textio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// ErrFormat reports a malformed input file.
+var ErrFormat = errors.New("textio: malformed input")
+
+// Input is a fully parsed problem instance.
+type Input struct {
+	Grid           *grid.Grid
+	Plan           *measure.Plan
+	Capability     attack.Capability
+	CostConstraint float64
+	// MinIncreasePercent is the attacker's target I (%).
+	MinIncreasePercent float64
+}
+
+// section names in canonical order.
+const (
+	secTopology    = "topology"
+	secMeasurement = "measurement"
+	secResource    = "resource"
+	secBusTypes    = "bustypes"
+	secGenerators  = "generators"
+	secLoads       = "loads"
+	secCost        = "cost"
+)
+
+// sectionFor maps a comment header line to a section name.
+func sectionFor(header string) string {
+	h := strings.ToLower(header)
+	switch {
+	case strings.Contains(h, "topology") || strings.Contains(h, "line information"):
+		return secTopology
+	// "resource" must be tested before "measurement": the resource header
+	// mentions "(measurements, buses)".
+	case strings.Contains(h, "resource"):
+		return secResource
+	case strings.Contains(h, "measurement"):
+		return secMeasurement
+	case strings.Contains(h, "bus type"):
+		return secBusTypes
+	case strings.Contains(h, "generator"):
+		return secGenerators
+	case strings.Contains(h, "load"):
+		return secLoads
+	case strings.Contains(h, "cost"):
+		return secCost
+	default:
+		return ""
+	}
+}
+
+// Parse reads an input file in the paper's format.
+func Parse(r io.Reader) (*Input, error) {
+	type lineRow struct {
+		id, from, to         int
+		admittance, capacity float64
+		known, inTrue, core  bool
+		secured, canAlter    bool
+	}
+	type measRow struct {
+		id                       int
+		taken, secured, canAlter bool
+	}
+	type genRow struct {
+		bus                 int
+		maxP, minP, a, beta float64
+	}
+	type loadRow struct {
+		bus           int
+		p, maxP, minP float64
+	}
+	type busRow struct {
+		bus           int
+		isGen, isLoad bool
+	}
+
+	var (
+		lines    []lineRow
+		meas     []measRow
+		gens     []genRow
+		loads    []loadRow
+		busTypes []busRow
+		resource []float64
+		cost     []float64
+	)
+
+	section := ""
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if s := sectionFor(text); s != "" {
+				section = s
+			}
+			continue
+		}
+		fields, err := parseFloats(text)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+		}
+		switch section {
+		case secTopology:
+			if len(fields) != 10 {
+				return nil, fmt.Errorf("%w: line %d: topology rows need 10 fields, got %d", ErrFormat, lineNo, len(fields))
+			}
+			lines = append(lines, lineRow{
+				id: int(fields[0]), from: int(fields[1]), to: int(fields[2]),
+				admittance: fields[3], capacity: fields[4],
+				known: fields[5] != 0, inTrue: fields[6] != 0, core: fields[7] != 0,
+				secured: fields[8] != 0, canAlter: fields[9] != 0,
+			})
+		case secMeasurement:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: measurement rows need 4 fields, got %d", ErrFormat, lineNo, len(fields))
+			}
+			meas = append(meas, measRow{
+				id: int(fields[0]), taken: fields[1] != 0,
+				secured: fields[2] != 0, canAlter: fields[3] != 0,
+			})
+		case secResource:
+			resource = append(resource, fields...)
+		case secBusTypes:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: bus-type rows need 3 fields, got %d", ErrFormat, lineNo, len(fields))
+			}
+			busTypes = append(busTypes, busRow{bus: int(fields[0]), isGen: fields[1] != 0, isLoad: fields[2] != 0})
+		case secGenerators:
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%w: line %d: generator rows need 5 fields, got %d", ErrFormat, lineNo, len(fields))
+			}
+			gens = append(gens, genRow{bus: int(fields[0]), maxP: fields[1], minP: fields[2], a: fields[3], beta: fields[4]})
+		case secLoads:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: load rows need 4 fields, got %d", ErrFormat, lineNo, len(fields))
+			}
+			loads = append(loads, loadRow{bus: int(fields[0]), p: fields[1], maxP: fields[2], minP: fields[3]})
+		case secCost:
+			cost = append(cost, fields...)
+		default:
+			return nil, fmt.Errorf("%w: line %d: data before any recognized section header", ErrFormat, lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: no topology section", ErrFormat)
+	}
+	if len(busTypes) == 0 {
+		return nil, fmt.Errorf("%w: no bus-type section", ErrFormat)
+	}
+	if len(cost) < 2 {
+		return nil, fmt.Errorf("%w: cost section needs constraint and increase", ErrFormat)
+	}
+
+	g := &grid.Grid{Name: "input", RefBus: 1}
+	for _, b := range busTypes {
+		g.Buses = append(g.Buses, grid.Bus{ID: b.bus, HasGenerator: b.isGen, HasLoad: b.isLoad})
+	}
+	for _, l := range lines {
+		g.Lines = append(g.Lines, grid.Line{
+			ID: l.id, From: l.from, To: l.to,
+			Admittance: l.admittance, Capacity: l.capacity,
+			AdmittanceKnown: l.known, InService: l.inTrue, Core: l.core,
+			StatusSecured: l.secured, CanAlterStatus: l.canAlter,
+		})
+	}
+	for _, gr := range gens {
+		g.Generators = append(g.Generators, grid.Generator{Bus: gr.bus, MaxP: gr.maxP, MinP: gr.minP, Alpha: gr.a, Beta: gr.beta})
+	}
+	for _, lr := range loads {
+		g.Loads = append(g.Loads, grid.Load{Bus: lr.bus, P: lr.p, MaxP: lr.maxP, MinP: lr.minP})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+
+	plan := measure.NewPlan(g.NumLines(), g.NumBuses())
+	for _, m := range meas {
+		if m.id < 1 || m.id > plan.M() {
+			return nil, fmt.Errorf("%w: measurement %d out of range 1..%d", ErrFormat, m.id, plan.M())
+		}
+		plan.Taken[m.id] = m.taken
+		plan.Secured[m.id] = m.secured
+		plan.Accessible[m.id] = m.canAlter
+	}
+
+	capability := attack.Capability{RequireTopologyChange: true}
+	if len(resource) >= 1 {
+		capability.MaxMeasurements = int(resource[0])
+	}
+	if len(resource) >= 2 {
+		capability.MaxBuses = int(resource[1])
+	}
+	return &Input{
+		Grid:               g,
+		Plan:               plan,
+		Capability:         capability,
+		CostConstraint:     cost[0],
+		MinIncreasePercent: cost[1],
+	}, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Fields(s)
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Write renders an Input back into the paper's format.
+func Write(w io.Writer, in *Input) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# Topology (Line) Information")
+	fmt.Fprintln(bw, "# (line no, from bus, to bus, admittance, line capacity, knowledge?, in true topology?, in core?, secured?, can alter?)")
+	for _, ln := range in.Grid.Lines {
+		fmt.Fprintf(bw, "%d %d %d %.4f %.4f %d %d %d %d %d\n",
+			ln.ID, ln.From, ln.To, ln.Admittance, ln.Capacity,
+			b2i(ln.AdmittanceKnown), b2i(ln.InService), b2i(ln.Core),
+			b2i(ln.StatusSecured), b2i(ln.CanAlterStatus))
+	}
+	fmt.Fprintln(bw, "# Measurement Information")
+	fmt.Fprintln(bw, "# (measurement no, measurement taken?, secured?, can attacker alter?)")
+	for i := 1; i <= in.Plan.M(); i++ {
+		fmt.Fprintf(bw, "%d %d %d %d\n", i, b2i(in.Plan.Taken[i]), b2i(in.Plan.Secured[i]), b2i(in.Plan.Accessible[i]))
+	}
+	fmt.Fprintln(bw, "# Attacker's Resource Limitation (measurements, buses)")
+	fmt.Fprintf(bw, "%d %d\n", in.Capability.MaxMeasurements, in.Capability.MaxBuses)
+	fmt.Fprintln(bw, "# Bus Types (bus no, is generator?, is load?)")
+	for _, b := range in.Grid.Buses {
+		fmt.Fprintf(bw, "%d %d %d\n", b.ID, b2i(b.HasGenerator), b2i(b.HasLoad))
+	}
+	fmt.Fprintln(bw, "# Generator Information (bus no, max generation, min generation, cost coefficient)")
+	for _, gn := range in.Grid.Generators {
+		fmt.Fprintf(bw, "%d %.4f %.4f %.2f %.2f\n", gn.Bus, gn.MaxP, gn.MinP, gn.Alpha, gn.Beta)
+	}
+	fmt.Fprintln(bw, "# Load Information (bus no, existing load, max load, min load)")
+	for _, ld := range in.Grid.Loads {
+		fmt.Fprintf(bw, "%d %.4f %.4f %.4f\n", ld.Bus, ld.P, ld.MaxP, ld.MinP)
+	}
+	fmt.Fprintln(bw, "# Cost Constraint, Minimum Cost Increase by Attack (in percentage)")
+	fmt.Fprintf(bw, "%.2f %.2f\n", in.CostConstraint, in.MinIncreasePercent)
+	return bw.Flush()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WriteResult renders the framework's output file: the verification verdict
+// and, when an attack exists, the attack vector assignments.
+func WriteResult(w io.Writer, in *Input, found bool, v *attack.Vector, baseline, attacked float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# Impact Analysis Result")
+	fmt.Fprintf(bw, "baseline optimal cost: %.2f\n", baseline)
+	fmt.Fprintf(bw, "target increase: %.2f%%\n", in.MinIncreasePercent)
+	if !found {
+		fmt.Fprintln(bw, "result: unsat (no stealthy attack achieves the target increase)")
+		return bw.Flush()
+	}
+	fmt.Fprintln(bw, "result: sat")
+	fmt.Fprintf(bw, "attacked cost: %.2f (+%.2f%%)\n", attacked, 100*(attacked-baseline)/baseline)
+	fmt.Fprintf(bw, "excluded lines: %v\n", v.ExcludedLines)
+	fmt.Fprintf(bw, "included lines: %v\n", v.IncludedLines)
+	fmt.Fprintf(bw, "infected states: %v\n", v.InfectedStates)
+	fmt.Fprintf(bw, "altered measurements: %v\n", v.AlteredMeasurements)
+	fmt.Fprintf(bw, "compromised buses: %v\n", v.CompromisedBuses)
+	fmt.Fprintln(bw, "# observed loads after attack (bus, load)")
+	for _, ld := range in.Grid.Loads {
+		fmt.Fprintf(bw, "%d %.4f\n", ld.Bus, v.ObservedLoads[ld.Bus-1])
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,130 @@
+// Package topo implements the EMS topology processor: it compiles
+// telemetered breaker/switch statuses into the network topology used by
+// state estimation and OPF (paper Sec. II-C), and models topology poisoning
+// (exclusion/inclusion of lines, paper Sec. III-C).
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"gridattack/internal/grid"
+)
+
+// ErrStatus reports malformed status telemetry.
+var ErrStatus = errors.New("topo: invalid status report")
+
+// Status is the telemetered breaker state of one line.
+type Status struct {
+	Line   int
+	Closed bool
+}
+
+// Report is a complete status snapshot for all lines.
+type Report struct {
+	statuses map[int]bool
+}
+
+// NewReport builds a report from per-line statuses. Every line must appear
+// exactly once.
+func NewReport(statuses []Status) (*Report, error) {
+	m := make(map[int]bool, len(statuses))
+	for _, s := range statuses {
+		if s.Line < 1 {
+			return nil, fmt.Errorf("%w: line %d", ErrStatus, s.Line)
+		}
+		if _, dup := m[s.Line]; dup {
+			return nil, fmt.Errorf("%w: duplicate status for line %d", ErrStatus, s.Line)
+		}
+		m[s.Line] = s.Closed
+	}
+	return &Report{statuses: m}, nil
+}
+
+// TrueReport returns the status report the field devices would send absent
+// any tampering: closed exactly for in-service lines.
+func TrueReport(g *grid.Grid) *Report {
+	m := make(map[int]bool, g.NumLines())
+	for _, ln := range g.Lines {
+		m[ln.ID] = ln.InService
+	}
+	return &Report{statuses: m}
+}
+
+// Closed reports the telemetered state of a line.
+func (r *Report) Closed(line int) bool { return r.statuses[line] }
+
+// Clone returns a deep copy.
+func (r *Report) Clone() *Report {
+	m := make(map[int]bool, len(r.statuses))
+	for k, v := range r.statuses {
+		m[k] = v
+	}
+	return &Report{statuses: m}
+}
+
+// Tamper flips the reported status of a line. It returns an error when the
+// line's status telemetry is integrity-protected (w_i) — such tampering
+// would be rejected — or the line is unknown.
+func (r *Report) Tamper(g *grid.Grid, line int, closed bool) error {
+	if line < 1 || line > g.NumLines() {
+		return fmt.Errorf("%w: unknown line %d", ErrStatus, line)
+	}
+	if g.Lines[line-1].StatusSecured {
+		return fmt.Errorf("%w: line %d status is integrity-protected", ErrStatus, line)
+	}
+	r.statuses[line] = closed
+	return nil
+}
+
+// Processor is the topology processor.
+type Processor struct {
+	grid *grid.Grid
+}
+
+// NewProcessor returns a topology processor for the grid.
+func NewProcessor(g *grid.Grid) *Processor {
+	return &Processor{grid: g}
+}
+
+// Map compiles a status report into the mapped topology (paper Eq. 10's k_i:
+// a line is mapped iff its reported status is closed). Core (fixed) lines
+// are always mapped regardless of telemetry, matching the paper's notion
+// that core lines "are never opened".
+func (p *Processor) Map(r *Report) (grid.Topology, error) {
+	var closed []int
+	for _, ln := range p.grid.Lines {
+		st, ok := r.statuses[ln.ID]
+		if !ok {
+			return grid.Topology{}, fmt.Errorf("%w: missing status for line %d", ErrStatus, ln.ID)
+		}
+		if ln.Core || st {
+			closed = append(closed, ln.ID)
+		}
+	}
+	return grid.NewTopology(closed), nil
+}
+
+// Diff describes how a mapped topology deviates from the true one.
+type Diff struct {
+	Excluded []int // in service but not mapped (exclusion attacks)
+	Included []int // mapped but not in service (inclusion attacks)
+}
+
+// Empty reports whether the mapped topology matches the true one.
+func (d Diff) Empty() bool { return len(d.Excluded) == 0 && len(d.Included) == 0 }
+
+// Compare returns the difference between the mapped topology and the grid's
+// true topology.
+func (p *Processor) Compare(mapped grid.Topology) Diff {
+	var d Diff
+	for _, ln := range p.grid.Lines {
+		switch {
+		case ln.InService && !mapped.Contains(ln.ID):
+			d.Excluded = append(d.Excluded, ln.ID)
+		case !ln.InService && mapped.Contains(ln.ID):
+			d.Included = append(d.Included, ln.ID)
+		}
+	}
+	return d
+}

@@ -1,0 +1,114 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+
+	"gridattack/internal/cases"
+)
+
+func TestTrueReportMapsTrueTopology(t *testing.T) {
+	g := cases.Paper5Bus()
+	p := NewProcessor(g)
+	mapped, err := p.Map(TrueReport(g))
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if mapped.Size() != g.NumLines() {
+		t.Fatalf("mapped %d lines, want %d", mapped.Size(), g.NumLines())
+	}
+	if d := p.Compare(mapped); !d.Empty() {
+		t.Errorf("diff not empty: %+v", d)
+	}
+}
+
+func TestNewReportValidation(t *testing.T) {
+	if _, err := NewReport([]Status{{Line: 0, Closed: true}}); !errors.Is(err, ErrStatus) {
+		t.Errorf("err = %v, want ErrStatus for line 0", err)
+	}
+	if _, err := NewReport([]Status{{Line: 1, Closed: true}, {Line: 1, Closed: false}}); !errors.Is(err, ErrStatus) {
+		t.Errorf("err = %v, want ErrStatus for duplicate", err)
+	}
+	r, err := NewReport([]Status{{Line: 1, Closed: true}, {Line: 2, Closed: false}})
+	if err != nil {
+		t.Fatalf("NewReport: %v", err)
+	}
+	if !r.Closed(1) || r.Closed(2) {
+		t.Error("Closed() values wrong")
+	}
+}
+
+func TestMapMissingStatus(t *testing.T) {
+	g := cases.Paper5Bus()
+	p := NewProcessor(g)
+	r, err := NewReport([]Status{{Line: 1, Closed: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Map(r); !errors.Is(err, ErrStatus) {
+		t.Fatalf("err = %v, want ErrStatus for missing statuses", err)
+	}
+}
+
+func TestTamperExclusion(t *testing.T) {
+	g := cases.Paper5Bus()
+	p := NewProcessor(g)
+	r := TrueReport(g)
+	// Line 6 is unsecured and non-core: exclusion must succeed.
+	if err := r.Tamper(g, 6, false); err != nil {
+		t.Fatalf("Tamper(6): %v", err)
+	}
+	mapped, err := p.Map(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Contains(6) {
+		t.Error("line 6 should be unmapped after tampering")
+	}
+	d := p.Compare(mapped)
+	if len(d.Excluded) != 1 || d.Excluded[0] != 6 || len(d.Included) != 0 {
+		t.Errorf("diff = %+v, want exclusion of line 6", d)
+	}
+}
+
+func TestTamperSecuredRejected(t *testing.T) {
+	g := cases.Paper5Bus()
+	r := TrueReport(g)
+	// Line 7 status is secured.
+	if err := r.Tamper(g, 7, false); !errors.Is(err, ErrStatus) {
+		t.Fatalf("err = %v, want ErrStatus for secured line", err)
+	}
+	if err := r.Tamper(g, 99, false); !errors.Is(err, ErrStatus) {
+		t.Fatalf("err = %v, want ErrStatus for unknown line", err)
+	}
+}
+
+func TestCoreLineAlwaysMapped(t *testing.T) {
+	g := cases.Paper5Bus()
+	p := NewProcessor(g)
+	r := TrueReport(g)
+	// Line 1 is core but unsecured: tampering succeeds at the telemetry
+	// layer, yet the processor keeps the line mapped.
+	if err := r.Tamper(g, 1, false); err != nil {
+		t.Fatalf("Tamper(1): %v", err)
+	}
+	mapped, err := p.Map(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Contains(1) {
+		t.Error("core line 1 must remain mapped")
+	}
+}
+
+func TestReportClone(t *testing.T) {
+	g := cases.Paper5Bus()
+	r := TrueReport(g)
+	c := r.Clone()
+	if err := c.Tamper(g, 6, false); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Closed(6) {
+		t.Error("Clone aliases statuses")
+	}
+}
