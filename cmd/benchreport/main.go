@@ -1,13 +1,16 @@
 // Command benchreport regenerates the paper's evaluation artifacts (Sec. IV)
 // and prints them as tables: Fig. 4(a)/(b)/(c) impact-verification times,
 // Fig. 5(a) OPF-model times, Fig. 5(b)/(c) attack-model times, and Table IV
-// memory requirements.
+// memory requirements. The extra "par" artifact measures the parallel
+// analyzer's speedup over the sequential reference at increasing worker
+// counts.
 //
 // Usage:
 //
 //	benchreport -fig 4a            # one artifact
 //	benchreport -all               # everything (minutes on large systems)
 //	benchreport -fig 4b -cases paper5,ieee14,synth30
+//	benchreport -fig par           # parallel scaling (speedup vs. workers)
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, or t4")
+		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, or par")
 		all          = fs.Bool("all", false, "run every artifact")
 		caseList     = fs.String("cases", "", "comma-separated case subset (default: all five systems)")
 		maxConflicts = fs.Int64("max-conflicts", 2_000_000, "SMT conflict budget per query (0 = unlimited)")
@@ -45,7 +48,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	artifacts := []string{*fig}
 	if *all {
-		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4"}
+		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par"}
 	}
 	for _, a := range artifacts {
 		if a == "" {
@@ -154,8 +157,38 @@ func runOne(w io.Writer, artifact string, names []string, maxConflicts int64) er
 		tw.Flush()
 		fmt.Fprintln(w)
 
+	case "par":
+		rows, err := experiments.RunParallelScaling(names, nil, maxConflicts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Parallel scaling: impact-analysis time vs. workers (unsat-heavy workload)")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "case\tbuses\tworkers\tresult\titers\ttime\tspeedup")
+		baseline := make(map[string]float64)
+		for _, r := range rows {
+			if r.Workers == 1 {
+				baseline[r.Case] = float64(r.Elapsed)
+			}
+			result := "iter-capped"
+			switch {
+			case r.Found:
+				result = "sat"
+			case r.Exhaust:
+				result = "unsat"
+			}
+			speedup := "-"
+			if b, ok := baseline[r.Case]; ok && r.Elapsed > 0 {
+				speedup = fmt.Sprintf("%.2fx", b/float64(r.Elapsed))
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%v\t%s\n",
+				r.Case, r.Buses, r.Workers, result, r.Iters, r.Elapsed.Round(1e5), speedup)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+
 	default:
-		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4)", artifact)
+		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par)", artifact)
 	}
 	return nil
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	opfattack -input case.txt [-output result.txt] [-states] [-target 3]
-//	          [-verify lp|smt|shift] [-max-iter 200]
+//	          [-verify lp|smt|shift] [-max-iter 200] [-parallel 0]
 package main
 
 import (
@@ -38,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		verifyMode = fs.String("verify", "lp", "OPF verification backend: lp, smt, or shift")
 		maxIter    = fs.Int("max-iter", 200, "maximum attack vectors to examine")
 		operating  = fs.String("operating", "", "pre-attack generation dispatch as comma-separated per-bus values (default: the OPF optimum)")
+		parallel   = fs.Int("parallel", 0, "worker goroutines for the analysis: 0 = all CPUs, 1 = sequential; verdicts are identical at every setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		Capability:            in.Capability,
 		TargetIncreasePercent: in.MinIncreasePercent,
 		MaxIterations:         *maxIter,
+		Parallelism:           *parallel,
 	}
 	analyzer.Capability.States = *states
 	if *target > 0 {

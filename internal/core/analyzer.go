@@ -13,8 +13,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"gridattack/internal/attack"
@@ -87,6 +89,14 @@ type Analyzer struct {
 
 	// Verify selects the impact-verification backend; 0 selects VerifyLP.
 	Verify VerifyMode
+
+	// Parallelism is the number of worker goroutines the analysis may use:
+	// 0 selects runtime.GOMAXPROCS(0), 1 runs the exact sequential reference
+	// loop, and larger values enable the speculative find–verify pipeline
+	// plus stable solver portfolios. The report's verdicts (Found, Exhausted,
+	// the vector itself) are identical at every setting; only wall-clock
+	// time changes. See DESIGN.md, "Parallel impact analysis".
+	Parallelism int
 }
 
 // Report is the outcome of one analysis run.
@@ -150,7 +160,20 @@ func (a *Analyzer) Run() (*Report, error) {
 		}
 	}
 
+	par := a.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
 	rep := &Report{BaselineCost: base.Cost, Threshold: threshold}
+	if par > 1 {
+		if err := a.runPipelined(rep, model, fac, threshold, maxIter, par); err != nil {
+			return nil, err
+		}
+		rep.Elapsed = time.Since(start)
+		return rep, nil
+	}
+
 	for rep.Iterations < maxIter {
 		t0 := time.Now()
 		v, err := model.FindVector()
@@ -169,7 +192,7 @@ func (a *Analyzer) Run() (*Report, error) {
 		rep.Iterations++
 
 		t1 := time.Now()
-		cost, reached, err := a.verify(v, fac, threshold)
+		cost, reached, err := a.verify(context.Background(), v, fac, threshold, 1)
 		rep.VerifyTime += time.Since(t1)
 		if errors.Is(err, smt.ErrCanceled) {
 			rep.Canceled = true
@@ -190,11 +213,128 @@ func (a *Analyzer) Run() (*Report, error) {
 	return rep, nil
 }
 
+// runPipelined executes the Fig. 2 loop with the speculative find–verify
+// pipeline: while candidate k is being verified, a clone of the attack model
+// speculatively searches for candidate k+1 under the assumption that k fails
+// (the common case — the clone blocks k exactly as the sequential loop
+// would). When the verification indeed fails, the clone and its result are
+// adopted wholesale, so the candidate sequence is bit-for-bit the sequential
+// one; when it succeeds, the speculation is interrupted and discarded.
+//
+// The verification runs a stable solver portfolio of width par-1, the
+// speculative search a sequential solver — together they occupy the par
+// workers the caller granted.
+func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, threshold float64, maxIter, par int) error {
+	type verifyResult struct {
+		cost    float64
+		reached bool
+		err     error
+		elapsed time.Duration
+	}
+	type findResult struct {
+		v       *attack.Vector
+		err     error
+		elapsed time.Duration
+	}
+	ctx := context.Background()
+
+	// The first candidate has nothing to overlap with: give the search the
+	// full portfolio width.
+	t0 := time.Now()
+	v, err := model.FindVectorPortfolio(ctx, par)
+	rep.AttackSearchTime += time.Since(t0)
+	if errors.Is(err, smt.ErrCanceled) {
+		rep.Canceled = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	for {
+		if v == nil {
+			rep.Exhausted = true
+			return nil
+		}
+		rep.Iterations++
+
+		vch := make(chan verifyResult, 1)
+		go func(v *attack.Vector) {
+			t := time.Now()
+			cost, reached, err := a.verify(ctx, v, fac, threshold, max(1, par-1))
+			vch <- verifyResult{cost: cost, reached: reached, err: err, elapsed: time.Since(t)}
+		}(v)
+
+		// Speculate only when a further candidate could still be consumed
+		// within the iteration budget (this also keeps the Canceled flag
+		// identical to the sequential loop, which never runs that search).
+		var spec *attack.Model
+		var fch chan findResult
+		var cancelSpec context.CancelFunc
+		if rep.Iterations < maxIter {
+			spec = model.Clone()
+			spec.Block(v, a.BlockPrecision)
+			var sctx context.Context
+			sctx, cancelSpec = context.WithCancel(ctx)
+			fch = make(chan findResult, 1)
+			go func() {
+				t := time.Now()
+				nv, err := spec.FindVectorPortfolio(sctx, 1)
+				fch <- findResult{v: nv, err: err, elapsed: time.Since(t)}
+			}()
+		}
+
+		vr := <-vch
+		rep.VerifyTime += vr.elapsed
+		if vr.err != nil || vr.reached {
+			if cancelSpec != nil {
+				// Wrong speculation (or an error): interrupt the clone's
+				// search and join it before returning.
+				cancelSpec()
+				<-fch
+			}
+			if errors.Is(vr.err, smt.ErrCanceled) {
+				rep.Canceled = true
+				return nil
+			}
+			if vr.err != nil {
+				return vr.err
+			}
+			rep.Found = true
+			rep.Vector = v
+			rep.AttackedCost = vr.cost
+			return nil
+		}
+		if cancelSpec == nil {
+			// Iteration budget exhausted without a verdict — same exit as the
+			// sequential loop's bound.
+			return nil
+		}
+
+		// The candidate failed, so the speculation holds: the clone with the
+		// candidate blocked becomes the model, and its search result the next
+		// candidate — exactly what the sequential loop would compute next.
+		fr := <-fch
+		cancelSpec()
+		rep.AttackSearchTime += fr.elapsed
+		if errors.Is(fr.err, smt.ErrCanceled) {
+			rep.Canceled = true
+			return nil
+		}
+		if fr.err != nil {
+			return fr.err
+		}
+		model = spec
+		v = fr.v
+	}
+}
+
 // verify evaluates one candidate vector: the operator reruns OPF on the
 // poisoned topology with the attack's load estimates. An attack succeeds
 // when the resulting minimum cost is at least the threshold while OPF still
-// converges (Eq. 38: the attacker avoids non-convergent outcomes).
-func (a *Analyzer) verify(v *attack.Vector, fac *dist.Factors, threshold float64) (float64, bool, error) {
+// converges (Eq. 38: the attacker avoids non-convergent outcomes). par is
+// the solver-portfolio width for the SMT backend (<= 1 = sequential).
+func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Factors, threshold float64, par int) (float64, bool, error) {
 	mode := a.Verify
 	if mode == 0 {
 		mode = VerifyLP
@@ -211,21 +351,31 @@ func (a *Analyzer) verify(v *attack.Vector, fac *dist.Factors, threshold float64
 		return sol.Cost, sol.Cost >= threshold, nil
 
 	case VerifySMT:
-		// Eq. 37: no dispatch below the threshold...
-		below, _, err := opf.FeasibleWithinTimeout(a.Grid, v.MappedTopology, v.ObservedLoads, threshold, a.MaxConflicts, a.QueryTimeout)
+		// One OPF feasibility model answers both the Eq. 38 and the Eq. 37
+		// query: the topology/load constraints are encoded once and the two
+		// cost caps asserted incrementally. The solver cannot retract
+		// constraints, so the generous cap is queried first — the outcome is
+		// provably the one the original tight-then-generous order computed,
+		// since unsat at the generous cap implies unsat at the tight one.
+		fm, err := opf.NewFeasibilityModel(a.Grid, v.MappedTopology, v.ObservedLoads, a.MaxConflicts, a.QueryTimeout)
 		if err != nil {
 			return 0, false, err
 		}
-		if below {
+		fm.Parallelism = par
+		// Eq. 38: OPF must converge for a generous budget...
+		converges, err := fm.CheckCostBelow(ctx, threshold*10)
+		if err != nil {
+			return 0, false, err
+		}
+		if !converges {
 			return 0, false, nil
 		}
-		// ...Eq. 38: but OPF must converge for a generous budget.
-		generous := threshold * 10
-		converges, _, err := opf.FeasibleWithinTimeout(a.Grid, v.MappedTopology, v.ObservedLoads, generous, a.MaxConflicts, a.QueryTimeout)
+		// ...Eq. 37: while no dispatch stays below the threshold.
+		below, err := fm.CheckCostBelow(ctx, threshold)
 		if err != nil {
 			return 0, false, err
 		}
-		return 0, converges, nil
+		return 0, !below, nil
 
 	case VerifyShift:
 		outage := 0

@@ -22,6 +22,19 @@ type Vars struct {
 // solver: is there a dispatch with total cost <= costCap that serves `loads`
 // under mapped topology t? It returns handles to the created variables.
 func Encode(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64, costCap float64) (*Vars, error) {
+	v, err := EncodeBase(s, g, t, loads)
+	if err != nil {
+		return nil, err
+	}
+	assertCostCap(s, g, v, costCap)
+	return v, nil
+}
+
+// EncodeBase asserts the cap-independent OPF constraints (Eqs. 30-34):
+// generator limits, flow definitions and capacities, and nodal balance. The
+// cost cap (Eq. 35) is left to the caller, so one encoded model can serve a
+// sequence of progressively tighter cost queries on the same solver.
+func EncodeBase(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64) (*Vars, error) {
 	if len(g.Generators) == 0 {
 		return nil, ErrNoGenerators
 	}
@@ -103,8 +116,12 @@ func Encode(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64, costC
 		total.Add(total, smt.RatFromFloat(l))
 	}
 	s.Assert(smt.Atom(sum, smt.OpEQ, total))
+	return v, nil
+}
 
-	// Cost cap (Eq. 35): sum(alpha_j + beta_j * Pg_j) <= costCap.
+// assertCostCap asserts the cost cap (Eq. 35):
+// sum(alpha_j + beta_j * Pg_j) <= costCap.
+func assertCostCap(s *smt.Solver, g *grid.Grid, v *Vars, costCap float64) {
 	cost := smt.NewLinExpr()
 	var alpha float64
 	for i, gen := range g.Generators {
@@ -112,7 +129,6 @@ func Encode(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64, costC
 		alpha += gen.Alpha
 	}
 	s.Assert(smt.AtomFloat(cost, smt.OpLE, costCap-alpha))
-	return v, nil
 }
 
 // FeasibleWithin reports whether some dispatch serves the loads under

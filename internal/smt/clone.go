@@ -1,0 +1,159 @@
+package smt
+
+import "math/big"
+
+// Clone returns a deep, fully independent copy of the solver: assertions,
+// learned clauses, activity/phase heuristic state, the simplex tableau, and
+// any in-progress search state (trail, decision levels, model) are all
+// duplicated, so the copy behaves bit-for-bit like the original under the
+// same sequence of calls. Formula AST nodes in the Tseitin cache are shared
+// (they are immutable); everything mutable is copied.
+//
+// Clone is the foundation of the portfolio solver (CheckPortfolio) and of
+// the analyzer's speculative find–verify pipeline, where a replica continues
+// the search under an assumption while the original stays untouched.
+func (s *Solver) Clone() *Solver {
+	core, cmap := s.core.clone()
+	cp := &Solver{
+		core:         core,
+		simp:         s.simp.clone(),
+		boolNames:    append([]string(nil), s.boolNames...),
+		realNames:    append([]string(nil), s.realNames...),
+		trueVar:      s.trueVar,
+		atoms:        make(map[int]*atomInfo, len(s.atoms)),
+		atomVars:     make(map[string]int, len(s.atomVars)),
+		formSlacks:   make(map[string]int, len(s.formSlacks)),
+		tseitinCache: make(map[*Formula]literal, len(s.tseitinCache)),
+		theoryHead:   s.theoryHead,
+		MaxConflicts: s.MaxConflicts,
+		MaxDuration:  s.MaxDuration,
+		model:        s.model,
+		restartUnit:  s.restartUnit,
+		rngState:     s.rngState,
+		randFreq:     s.randFreq,
+	}
+	for v, info := range s.atoms {
+		cp.atoms[v] = &atomInfo{
+			slack:   info.slack,
+			isUpper: info.isUpper,
+			strict:  info.strict,
+			bound:   new(big.Rat).Set(info.bound),
+		}
+	}
+	for k, v := range s.atomVars {
+		cp.atomVars[k] = v
+	}
+	for k, v := range s.formSlacks {
+		cp.formSlacks[k] = v
+	}
+	for f, l := range s.tseitinCache {
+		cp.tseitinCache[f] = l
+	}
+	if s.modelDelta != nil {
+		cp.modelDelta = new(big.Rat).Set(s.modelDelta)
+	}
+	_ = cmap
+	return cp
+}
+
+// clone deep-copies the SAT core. It also returns the old-to-new clause
+// mapping so callers holding clause pointers could translate them.
+func (c *satCore) clone() (*satCore, map[*clause]*clause) {
+	n := &satCore{
+		numVars:       c.numVars,
+		varInc:        c.varInc,
+		unsatisfiable: c.unsatisfiable,
+		qhead:         c.qhead,
+		decisions:     c.decisions,
+		conflicts:     c.conflicts,
+		propagations:  c.propagations,
+		assign:        append([]assignVal(nil), c.assign...),
+		level:         append([]int(nil), c.level...),
+		trail:         append([]literal(nil), c.trail...),
+		trailLim:      append([]int(nil), c.trailLim...),
+		activity:      append([]float64(nil), c.activity...),
+		phase:         append([]bool(nil), c.phase...),
+		heap:          append([]int(nil), c.heap...),
+		heapPos:       append([]int(nil), c.heapPos...),
+	}
+	cmap := make(map[*clause]*clause, len(c.clauses))
+	n.clauses = make([]*clause, len(c.clauses))
+	for i, cl := range c.clauses {
+		ncl := &clause{lits: append([]literal(nil), cl.lits...), learned: cl.learned}
+		n.clauses[i] = ncl
+		cmap[cl] = ncl
+	}
+	n.watches = make([][]*clause, len(c.watches))
+	for i, ws := range c.watches {
+		if len(ws) == 0 {
+			continue
+		}
+		nws := make([]*clause, len(ws))
+		for j, cl := range ws {
+			nws[j] = cmap[cl]
+		}
+		n.watches[i] = nws
+	}
+	n.reason = make([]*clause, len(c.reason))
+	for i, r := range c.reason {
+		if r == nil {
+			continue
+		}
+		if nr, ok := cmap[r]; ok {
+			n.reason[i] = nr
+		} else {
+			// A reason not in the clause database (defensive: all current
+			// code paths attach reasons to the database first).
+			n.reason[i] = &clause{lits: append([]literal(nil), r.lits...), learned: r.learned}
+		}
+	}
+	return n, cmap
+}
+
+// clone deep-copies the simplex tableau, bounds, assignment, and backtrack
+// trail. The copy gets fresh scratch storage and an empty rational pool.
+func (s *simplex) clone() *simplex {
+	n := newSimplex()
+	n.nVars = s.nVars
+	n.needCheck = s.needCheck
+	n.pivots = s.pivots
+	n.rows = make(map[int]map[int]*big.Rat, len(s.rows))
+	for b, row := range s.rows {
+		nr := make(map[int]*big.Rat, len(row))
+		for j, c := range row {
+			nr[j] = new(big.Rat).Set(c)
+		}
+		n.rows[b] = nr
+	}
+	n.basic = append([]bool(nil), s.basic...)
+	n.basicList = append([]int(nil), s.basicList...)
+	n.beta = make([]DRat, len(s.beta))
+	for i, d := range s.beta {
+		n.beta[i] = d.Clone()
+	}
+	n.lb = cloneBounds(s.lb)
+	n.ub = cloneBounds(s.ub)
+	n.trail = make([]bndUndo, len(s.trail))
+	for i, u := range s.trail {
+		n.trail[i] = bndUndo{v: u.v, isUpper: u.isUpper, old: u.old.clone()}
+	}
+	n.lims = append([]int(nil), s.lims...)
+	return n
+}
+
+func cloneBounds(bs []bound) []bound {
+	out := make([]bound, len(bs))
+	for i, b := range bs {
+		out[i] = b.clone()
+	}
+	return out
+}
+
+// clone deep-copies a bound; the zero value (inactive, no storage) is
+// returned as-is.
+func (b bound) clone() bound {
+	if b.val.A == nil {
+		return b
+	}
+	return bound{val: b.val.Clone(), reason: b.reason, active: b.active}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/big"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,8 +41,37 @@ type simplex struct {
 	// pivots); the tableau stays consistent on cancellation.
 	deadline time.Time
 
+	// stop, when non-nil and set, cancels long check() runs at the next
+	// pivot-batch poll (installed by Solver.SetInterrupt).
+	stop *atomic.Bool
+
+	// Scratch storage reused across pivots. pivotAndUpdate/pivot/update
+	// used to allocate fresh big.Rats for every touched row on every pivot;
+	// the pool and the in-place tableau rewrites below reuse row storage
+	// instead, which is a large constant-factor win on the hot
+	// Dutertre–de Moura path.
+	pool    []*big.Rat // free list of row-coefficient rationals
+	prod    *big.Rat   // transient product buffer
+	inv     *big.Rat   // transient pivot-coefficient inverse
+	theta   DRat       // transient pivot step
+	colsBuf []int      // reusable sorted-column buffer for check()
+
 	pivots int // statistics
 }
+
+// getRat takes a rational from the pool (or allocates one). The caller owns
+// the result; its prior value is arbitrary and must be overwritten.
+func (s *simplex) getRat() *big.Rat {
+	if n := len(s.pool); n > 0 {
+		r := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return r
+	}
+	return new(big.Rat)
+}
+
+// putRat returns a rational to the pool. The caller must not retain it.
+func (s *simplex) putRat(r *big.Rat) { s.pool = append(s.pool, r) }
 
 // errCheckCanceled reports a check() aborted by the deadline.
 var errCheckCanceled = errors.New("smt: simplex check canceled")
@@ -58,7 +88,12 @@ type theoryConflict struct {
 }
 
 func newSimplex() *simplex {
-	return &simplex{rows: make(map[int]map[int]*big.Rat)}
+	return &simplex{
+		rows:  make(map[int]map[int]*big.Rat),
+		prod:  new(big.Rat),
+		inv:   new(big.Rat),
+		theta: DRat{A: new(big.Rat), B: new(big.Rat)},
+	}
 }
 
 // addVar appends a fresh arithmetic variable and returns its index.
@@ -182,15 +217,19 @@ func (s *simplex) assertBound(v int, isUpper bool, val DRat, reason literal) *th
 }
 
 // update moves nonbasic variable v to value val, adjusting every basic
-// variable's assignment to keep the row equations satisfied.
+// variable's assignment to keep the row equations satisfied. All beta
+// entries are rewritten in place (the beta slice owns its rationals
+// exclusively), so no rationals are allocated.
 func (s *simplex) update(v int, val DRat) {
-	delta := val.Sub(s.beta[v])
+	// theta scratch := val - beta[v].
+	s.theta.A.Sub(val.A, s.beta[v].A)
+	s.theta.B.Sub(val.B, s.beta[v].B)
 	for b, row := range s.rows {
 		if c, ok := row[v]; ok {
-			s.beta[b] = s.beta[b].Add(delta.ScaleRat(c))
+			s.beta[b].addScaledInPlace(s.theta, c, s.prod)
 		}
 	}
-	s.beta[v] = val
+	s.beta[v].setFrom(val)
 }
 
 // check restores bound satisfaction for basic variables, pivoting as needed.
@@ -215,8 +254,13 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 	}
 	heuristicBudget := 100 + 4*s.nVars
 	for pivots := 0; ; pivots++ {
-		if !deadline.IsZero() && pivots%32 == 31 && time.Now().After(deadline) {
-			return nil, errCheckCanceled
+		if pivots%32 == 31 {
+			if s.stop != nil && s.stop.Load() {
+				return nil, errCheckCanceled
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return nil, errCheckCanceled
+			}
 		}
 		bland := pivots >= heuristicBudget
 		b := -1
@@ -256,11 +300,12 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 			return nil, nil
 		}
 		row := s.rows[b]
-		cols := make([]int, 0, len(row))
+		cols := s.colsBuf[:0]
 		for j := range row {
 			cols = append(cols, j)
 		}
 		sort.Ints(cols)
+		s.colsBuf = cols
 		eligible := func(j int) bool {
 			c := row[j]
 			if needRaise {
@@ -326,43 +371,51 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 }
 
 // pivotAndUpdate sets basic variable b to value target by moving nonbasic
-// variable j, then swaps their roles in the tableau.
+// variable j, then swaps their roles in the tableau. All assignment updates
+// run in place through the scratch buffers — the hot path allocates nothing.
 func (s *simplex) pivotAndUpdate(b, j int, target DRat) {
 	s.pivots++
 	a := s.rows[b][j]
-	theta := target.Sub(s.beta[b]).ScaleRat(new(big.Rat).Inv(a))
-	s.beta[b] = target
-	s.beta[j] = s.beta[j].Add(theta)
+	s.inv.Inv(a)
+	// theta scratch := (target - beta[b]) / a.
+	s.theta.A.Sub(target.A, s.beta[b].A)
+	s.theta.A.Mul(s.theta.A, s.inv)
+	s.theta.B.Sub(target.B, s.beta[b].B)
+	s.theta.B.Mul(s.theta.B, s.inv)
+	s.beta[b].setFrom(target)
+	s.beta[j].addInPlace(s.theta)
 	for other, row := range s.rows {
 		if other == b {
 			continue
 		}
 		if c, ok := row[j]; ok {
-			s.beta[other] = s.beta[other].Add(theta.ScaleRat(c))
+			s.beta[other].addScaledInPlace(s.theta, c, s.prod)
 		}
 	}
 	s.pivot(b, j)
 }
 
-// pivot swaps basic variable b with nonbasic variable j.
+// pivot swaps basic variable b with nonbasic variable j. The old row of b is
+// transformed in place into the new row of j (its coefficient rationals are
+// reused), and coefficients eliminated during substitution go to the pool
+// instead of the garbage collector.
 func (s *simplex) pivot(b, j int) {
 	rowB := s.rows[b]
 	a := rowB[j]
-	inv := new(big.Rat).Inv(a)
+	delete(rowB, j)
 
-	// Row for j: x_j = (x_b - sum_{k != j} c_k x_k) / a.
-	newRow := make(map[int]*big.Rat, len(rowB))
-	newRow[b] = new(big.Rat).Set(inv)
-	for k, c := range rowB {
-		if k == j {
-			continue
-		}
-		newRow[k] = new(big.Rat).Neg(new(big.Rat).Mul(c, inv))
+	// Transform rowB in place into the row for j:
+	// x_j = (x_b - sum_{k != j} c_k x_k) / a.
+	a.Inv(a) // a's storage is reused as the coefficient of x_b
+	for _, c := range rowB {
+		c.Mul(c, a)
+		c.Neg(c)
 	}
+	rowB[b] = a
 	delete(s.rows, b)
 	s.basic[b] = false
 	s.basicRemove(b)
-	s.rows[j] = newRow
+	s.rows[j] = rowB
 	s.basic[j] = true
 	s.basicInsert(j)
 
@@ -371,15 +424,32 @@ func (s *simplex) pivot(b, j int) {
 		if other == j {
 			continue
 		}
-		c, ok := row[j]
+		factor, ok := row[j]
 		if !ok {
 			continue
 		}
-		factor := new(big.Rat).Set(c)
 		delete(row, j)
-		for k, jc := range newRow {
-			addCoeff(row, k, new(big.Rat).Mul(factor, jc))
+		for k, jc := range rowB {
+			s.addCoeffMul(row, k, factor, jc)
 		}
+		s.putRat(factor)
+	}
+}
+
+// addCoeffMul adds factor*jc into row[k], drawing fresh entries from the
+// rational pool and recycling entries that cancel to zero.
+func (s *simplex) addCoeffMul(row map[int]*big.Rat, k int, factor, jc *big.Rat) {
+	s.prod.Mul(factor, jc)
+	if cur, ok := row[k]; ok {
+		cur.Add(cur, s.prod)
+		if cur.Sign() == 0 {
+			delete(row, k)
+			s.putRat(cur)
+		}
+	} else if s.prod.Sign() != 0 {
+		r := s.getRat()
+		r.Set(s.prod)
+		row[k] = r
 	}
 }
 

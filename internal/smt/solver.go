@@ -3,6 +3,7 @@ package smt
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 	"time"
 )
 
@@ -73,8 +74,60 @@ type Solver struct {
 	// ErrCanceled.
 	MaxDuration time.Duration
 
+	// interrupt, when non-nil and set, cancels an in-flight Check at the
+	// next poll point (installed by SetInterrupt; used by the portfolio and
+	// context-aware entry points).
+	interrupt *atomic.Bool
+
+	// Portfolio diversification knobs; zero values select the sequential
+	// solver's defaults. Set by diversify on portfolio helper replicas.
+	restartUnit int64  // conflicts per Luby restart unit (0 = lubyUnit)
+	rngState    uint64 // xorshift64 state for decision-phase flips (0 = off)
+	randFreq    uint64 // flip roughly one decision phase in randFreq
+
 	model      bool // a model is available from the last Check
 	modelDelta *big.Rat
+}
+
+// SetInterrupt installs an external cancellation flag: once the flag becomes
+// true, an in-flight or future Check returns ErrCanceled at its next poll
+// point (conflicts, periodic decision ticks, and simplex pivot batches).
+// Passing nil detaches the flag. The flag itself is safe to set from another
+// goroutine; installing it must happen before Check starts.
+func (s *Solver) SetInterrupt(flag *atomic.Bool) {
+	s.interrupt = flag
+	s.simp.stop = flag
+}
+
+// interrupted reports whether the external cancellation flag is set.
+func (s *Solver) interrupted() bool {
+	return s.interrupt != nil && s.interrupt.Load()
+}
+
+// diversify perturbs the replica's search heuristics so portfolio members
+// explore different regions of the search space: odd replicas invert their
+// saved branching polarities, the Luby restart unit cycles through 1x/2x/4x
+// scales, and a seeded xorshift flips roughly one decision polarity in 16.
+// Each replica stays fully deterministic for a given index.
+func (s *Solver) diversify(i int) {
+	if i%2 == 1 {
+		for v := range s.core.phase {
+			s.core.phase[v] = !s.core.phase[v]
+		}
+	}
+	s.restartUnit = int64(lubyUnit) << uint((i/2)%3)
+	s.rngState = 0x9E3779B97F4A7C15*uint64(i) + 0xD1B54A32D192ED03
+	s.randFreq = 16
+}
+
+// nextRand advances the replica's xorshift64 state.
+func (s *Solver) nextRand() uint64 {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	return x
 }
 
 // NewSolver returns an empty solver.
@@ -193,6 +246,18 @@ func (s *Solver) backtrackAll() {
 // Check decides satisfiability of the asserted formulas. On Sat, a model is
 // available through BoolValue/RealValue.
 func (s *Solver) Check() (Result, error) {
+	res, err := s.check()
+	if err == nil && res == Unsat {
+		// Assertions are permanent, so unsat is too. Latching it keeps
+		// re-checks sound: a theory conflict among level-0 literals is
+		// consumed from the trail when found (theoryHead) and would not be
+		// rediscovered by a later call.
+		s.core.unsatisfiable = true
+	}
+	return res, err
+}
+
+func (s *Solver) check() (Result, error) {
 	s.model = false
 	if s.core.unsatisfiable {
 		return Unsat, nil
@@ -200,14 +265,21 @@ func (s *Solver) Check() (Result, error) {
 	s.backtrackAll()
 
 	var conflictsAtStart = s.core.conflicts
+	restartUnit := s.restartUnit
+	if restartUnit <= 0 {
+		restartUnit = lubyUnit
+	}
 	restartCount := 1
-	conflictBudget := lubyUnit * luby(restartCount)
+	conflictBudget := restartUnit * luby(restartCount)
 	conflictsThisRestart := int64(0)
 	var deadline time.Time
 	if s.MaxDuration > 0 {
 		deadline = time.Now().Add(s.MaxDuration)
 	}
 	decisionsSinceClock := 0
+	if s.interrupted() {
+		return 0, ErrCanceled
+	}
 
 	for {
 		confl := s.core.propagate()
@@ -229,6 +301,9 @@ func (s *Solver) Check() (Result, error) {
 				return 0, ErrCanceled
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, ErrCanceled
+			}
+			if s.interrupted() {
 				return 0, ErrCanceled
 			}
 			if tconfl != nil {
@@ -268,7 +343,7 @@ func (s *Solver) Check() (Result, error) {
 
 		if conflictsThisRestart >= conflictBudget {
 			restartCount++
-			conflictBudget = lubyUnit * luby(restartCount)
+			conflictBudget = restartUnit * luby(restartCount)
 			conflictsThisRestart = 0
 			s.core.cancelUntil(0)
 			s.simp.popTo(0)
@@ -280,6 +355,9 @@ func (s *Solver) Check() (Result, error) {
 		if decisionsSinceClock >= 512 {
 			decisionsSinceClock = 0
 			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, ErrCanceled
+			}
+			if s.interrupted() {
 				return 0, ErrCanceled
 			}
 		}
@@ -309,7 +387,11 @@ func (s *Solver) Check() (Result, error) {
 		s.core.decisions++
 		s.core.trailLim = append(s.core.trailLim, len(s.core.trail))
 		s.simp.push()
-		s.core.enqueue(mkLit(v, !s.core.phase[v]), nil)
+		pol := s.core.phase[v]
+		if s.rngState != 0 && s.nextRand()%s.randFreq == 0 {
+			pol = !pol // diversified replica: occasional random polarity
+		}
+		s.core.enqueue(mkLit(v, !pol), nil)
 	}
 }
 
