@@ -7,14 +7,22 @@
 //
 // Usage:
 //
-//	scadasim            # honest run
-//	scadasim -attack    # Case Study 1 attack in the loop
+//	scadasim                                  # honest run
+//	scadasim -attack                          # Case Study 1 attack in the loop
+//	scadasim -faults drop=0.3 -cycles 5       # telemetry under network chaos
+//
+// With -faults, every RTU listener is wrapped in a seedable fault injector
+// (-seed) and the control center runs its resilient collection path: polls
+// are retried with capped exponential backoff (-retries), tripped RTUs are
+// circuit-broken, and the EMS consumes whatever telemetry survives via
+// degraded-mode state estimation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 
 	"gridattack"
@@ -32,9 +40,20 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		doAttack = fs.Bool("attack", false, "interpose the MITM attacker (Case Study 1 vector)")
 		states   = fs.Bool("states", false, "allow state infection in the attack search")
+		faults   = fs.String("faults", "", "fault-injection spec, e.g. drop=0.2,delay=0.1:50ms,corrupt=0.1,truncate=0.05,reset=0.05")
+		seed     = fs.Int64("seed", 1, "seed for the fault injector and retry jitter (deterministic chaos)")
+		retries  = fs.Int("retries", 2, "extra poll attempts per RTU after a failure")
+		cycles   = fs.Int("cycles", 1, "number of EMS cycles to run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	faultCfg, err := gridattack.ParseFaultSpec(*faults)
+	if err != nil {
+		return err
+	}
+	if *cycles < 1 {
+		return fmt.Errorf("-cycles must be at least 1")
 	}
 
 	g := gridattack.Paper5Bus()
@@ -81,6 +100,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	center := gridattack.NewSCADACenter(g, plan)
+	center.Retries = *retries
+	center.Backoff = gridattack.NewSCADABackoff(*seed)
+	var injector *gridattack.FaultInjector
+	if *faults != "" {
+		injector = gridattack.NewFaultInjector(*seed, faultCfg)
+	}
 	type closer interface{ Close() error }
 	var closers []closer
 	defer func() {
@@ -91,9 +116,19 @@ func run(args []string, stdout io.Writer) error {
 	for bus := 1; bus <= g.NumBuses(); bus++ {
 		rtu := gridattack.NewRTU(g, plan, bus)
 		rtu.UpdateFromVector(z)
-		addr, err := rtu.Listen("127.0.0.1:0")
-		if err != nil {
-			return err
+		var addr string
+		if injector != nil {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			addr = rtu.Serve(injector.WrapListener(l))
+		} else {
+			var err error
+			addr, err = rtu.Listen("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
 		}
 		closers = append(closers, rtu)
 		if compromised[bus] {
@@ -110,16 +145,29 @@ func run(args []string, stdout io.Writer) error {
 		center.Register(bus, addr)
 	}
 
-	// One EMS cycle over the wire.
-	collected, report, err := center.Collect()
-	if err != nil {
-		return err
-	}
+	// EMS cycles over the wire, resilient to whatever the injector does.
 	pipeline := gridattack.NewEMSPipeline(g, plan)
 	pipeline.ResidualThreshold = 1e-6
-	cycle, err := pipeline.RunCycle(collected, report, dispatch)
-	if err != nil {
-		return err
+	verbose := *cycles > 1 || injector != nil
+	var cycle *gridattack.EMSCycleResult
+	for i := 1; i <= *cycles; i++ {
+		col, err := center.CollectPartial()
+		if err != nil {
+			return err
+		}
+		cycle, err = pipeline.RunCycleResilient(col.Z, col.Report, dispatch, center.LastGood())
+		if err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "cycle %d: attempts=%d failed=%v degraded=%v stale=%v redispatched=%v residual=%.2e\n",
+				i, col.Attempts, col.Failed, cycle.Degraded, cycle.Stale, cycle.Redispatched, cycle.Estimate.Residual)
+		}
+	}
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Fprintf(stdout, "injected faults over %d connections: drop=%d delay=%d corrupt=%d truncate=%d reset=%d\n",
+			st.Conns, st.Drops, st.Delays, st.Corrupts, st.Truncates, st.Resets)
 	}
 	honest, err := gridattack.SolveOPF(g, g.TrueTopology(), nil)
 	if err != nil {

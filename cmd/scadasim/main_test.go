@@ -37,6 +37,35 @@ func TestAttackedSimulation(t *testing.T) {
 	}
 }
 
+func TestFaultySimulationSurvives(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-faults", "drop=0.3,corrupt=0.2", "-seed", "7", "-cycles", "4", "-retries", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run with faults: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"cycle 1:", "cycle 4:", "injected faults over", "bad data: false"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("faulty run output missing %q:\n%s", want, s)
+		}
+	}
+	// Deterministic chaos: the same seed must replay the same fault trace.
+	var out2 bytes.Buffer
+	if err := run(args, &out2); err != nil {
+		t.Fatalf("rerun with faults: %v", err)
+	}
+	if out.String() != out2.String() {
+		t.Errorf("same seed produced different runs:\n--- first\n%s--- second\n%s", out.String(), out2.String())
+	}
+}
+
+func TestBadFaultSpecRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-faults", "flood=0.5"}, &out); err == nil {
+		t.Fatal("want error for unknown fault kind")
+	}
+}
+
 func TestAttackedWithStates(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-attack", "-states"}, &out); err != nil {

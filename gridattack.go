@@ -43,6 +43,7 @@ import (
 	"gridattack/internal/defense"
 	"gridattack/internal/dist"
 	"gridattack/internal/ems"
+	"gridattack/internal/faultinject"
 	"gridattack/internal/grid"
 	"gridattack/internal/measure"
 	"gridattack/internal/opf"
@@ -302,6 +303,57 @@ func NewSCADACenter(g *Grid, plan *Plan) *SCADACenter { return scada.NewCenter(g
 
 // NewMITM returns an attack proxy toward the RTU at upstream.
 func NewMITM(g *Grid, plan *Plan, upstream string) *MITM { return scada.NewMITM(g, plan, upstream) }
+
+// Resilience: retry/backoff, circuit breaking, partial collection, and
+// deterministic network fault injection.
+type (
+	// SCADABackoff computes capped exponential retry delays with seeded
+	// jitter.
+	SCADABackoff = scada.Backoff
+	// SCADACircuitBreaker trips after consecutive RTU poll failures.
+	SCADACircuitBreaker = scada.CircuitBreaker
+	// SCADACollectResult is the outcome of one resilient collection round.
+	SCADACollectResult = scada.CollectResult
+	// FaultInjector injects deterministic network faults into accepted
+	// connections.
+	FaultInjector = faultinject.Injector
+	// FaultConfig is the probabilistic fault schedule.
+	FaultConfig = faultinject.Config
+	// Fault is one scripted per-connection fault.
+	Fault = faultinject.Fault
+	// FaultStats counts injected faults by class.
+	FaultStats = faultinject.Stats
+)
+
+// Fault kinds for scripted injection.
+const (
+	FaultPass     = faultinject.Pass
+	FaultDrop     = faultinject.Drop
+	FaultDelay    = faultinject.Delay
+	FaultCorrupt  = faultinject.Corrupt
+	FaultTruncate = faultinject.Truncate
+	FaultReset    = faultinject.Reset
+)
+
+// NewSCADABackoff returns the default backoff schedule with a seeded jitter
+// stream (deterministic delays for a fixed seed).
+func NewSCADABackoff(seed int64) *SCADABackoff { return scada.NewBackoff(seed) }
+
+// NewFaultInjector returns a probabilistic fault injector; identical seeds
+// replay identical fault traces.
+func NewFaultInjector(seed int64, cfg FaultConfig) *FaultInjector {
+	return faultinject.New(seed, cfg)
+}
+
+// NewScriptedFaultInjector returns an injector that applies faults[i] to
+// the i-th accepted connection and passes afterwards.
+func NewScriptedFaultInjector(faults ...Fault) *FaultInjector {
+	return faultinject.NewScripted(faults...)
+}
+
+// ParseFaultSpec parses a fault specification such as
+// "drop=0.2,delay=0.1:50ms,corrupt=0.1".
+func ParseFaultSpec(s string) (FaultConfig, error) { return faultinject.ParseSpec(s) }
 
 // SMT engine (exposed for extension and for the ablation benchmarks).
 type (

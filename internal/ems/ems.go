@@ -39,6 +39,17 @@ type CycleResult struct {
 	Estimate      *se.Result    // state estimation output
 	LoadEstimates []float64     // per-bus load picture fed to OPF
 	Dispatch      *opf.Solution // OPF result: new generation set-points
+
+	// Degraded-mode annotations (RunCycleResilient). Degraded is set when
+	// the estimate was built from an incomplete measurement set. Stale is
+	// set when pseudo-measurements from the last good snapshot (or an
+	// island estimate with unknown buses) back the load picture — the
+	// operator should treat the dispatch as best-effort. Redispatched is
+	// false when OPF was skipped (islanded estimate with an incomplete
+	// load picture) and Dispatch echoes the current set-points.
+	Degraded     bool
+	Stale        bool
+	Redispatched bool
 }
 
 // RunCycle executes one full EMS cycle. currentDispatch is the generation
@@ -82,7 +93,66 @@ func (p *Pipeline) RunCycle(z *measure.Vector, report *topo.Report, currentDispa
 		Estimate:      res,
 		LoadEstimates: loads,
 		Dispatch:      sol,
+		Redispatched:  true,
 	}, nil
+}
+
+// RunCycleResilient executes one EMS cycle on possibly-degraded telemetry:
+// missing measurements are tolerated via the state estimator's degraded
+// modes (survivor solve, pseudo-measurements from lastGood, island solve),
+// and the OPF consumes the degraded estimate with a staleness flag instead
+// of the cycle aborting. Bad-data detection still aborts the cycle — a
+// residual that survives degradation is evidence of tampering, not noise.
+//
+// When the estimate is islanded (some bus angles unknown), re-dispatching
+// on a fabricated load picture would be dangerous, so the cycle holds the
+// current dispatch and reports Redispatched=false.
+func (p *Pipeline) RunCycleResilient(z *measure.Vector, report *topo.Report, currentDispatch []float64, lastGood *measure.Vector) (*CycleResult, error) {
+	if len(currentDispatch) != p.Grid.NumBuses() {
+		return nil, fmt.Errorf("ems: dispatch vector length %d, want %d", len(currentDispatch), p.Grid.NumBuses())
+	}
+	proc := topo.NewProcessor(p.Grid)
+	mapped, err := proc.Map(report)
+	if err != nil {
+		return nil, fmt.Errorf("ems: topology processing: %w", err)
+	}
+	est := se.NewEstimator(p.Grid, p.Plan)
+	est.Threshold = p.ResidualThreshold
+	res, err := est.EstimatePartial(mapped, z, lastGood)
+	if err != nil {
+		return nil, fmt.Errorf("ems: state estimation: %w", err)
+	}
+	if res.BadData {
+		return nil, fmt.Errorf("%w (residual %.6f, suspect measurement %d)",
+			ErrBadData, res.Residual, res.SuspectMeasurement)
+	}
+	out := &CycleResult{
+		Topology: mapped,
+		Estimate: res,
+		Degraded: res.Degraded,
+		Stale:    len(res.Pseudo) > 0 || res.IslandBuses != nil,
+	}
+	loads := make([]float64, p.Grid.NumBuses())
+	for j := range loads {
+		loads[j] = res.LoadEstimate[j] + currentDispatch[j]
+		if loads[j] < 0 && loads[j] > -1e-9 {
+			loads[j] = 0
+		}
+	}
+	out.LoadEstimates = loads
+	if res.IslandBuses != nil {
+		// Hold the current set-points; the load picture outside the island
+		// is unknown.
+		out.Dispatch = &opf.Solution{Dispatch: append([]float64(nil), currentDispatch...), Cost: p.TrueCost(currentDispatch)}
+		return out, nil
+	}
+	sol, err := opf.Solve(p.Grid, mapped, loads)
+	if err != nil {
+		return nil, fmt.Errorf("ems: OPF: %w", err)
+	}
+	out.Dispatch = sol
+	out.Redispatched = true
+	return out, nil
 }
 
 // TrueCost evaluates what the operator actually pays when running the given

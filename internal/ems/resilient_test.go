@@ -1,0 +1,87 @@
+package ems
+
+import (
+	"math"
+	"testing"
+
+	"gridattack/internal/topo"
+)
+
+// TestResilientCycleComplete: on complete telemetry the resilient cycle is
+// bit-for-bit the strict cycle, with no degraded annotations.
+func TestResilientCycleComplete(t *testing.T) {
+	g, plan, dispatch, pf := operatingPoint(t)
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(g, plan)
+	strict, err := p.RunCycle(z, topo.TrueReport(g), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunCycleResilient(z, topo.TrueReport(g), dispatch, nil)
+	if err != nil {
+		t.Fatalf("RunCycleResilient: %v", err)
+	}
+	if res.Degraded || res.Stale || !res.Redispatched {
+		t.Errorf("complete telemetry flagged degraded/stale: %+v", res)
+	}
+	if res.Dispatch.Cost != strict.Dispatch.Cost {
+		t.Errorf("resilient cost %v != strict cost %v", res.Dispatch.Cost, strict.Dispatch.Cost)
+	}
+	for i := range strict.Estimate.Theta {
+		if res.Estimate.Theta[i] != strict.Estimate.Theta[i] {
+			t.Errorf("theta[%d] differs: %v != %v", i, res.Estimate.Theta[i], strict.Estimate.Theta[i])
+		}
+	}
+}
+
+// TestResilientCycleMissingBus: dropping one bus's telemetry must degrade
+// the cycle (flagged), not abort it, and still re-dispatch close to the
+// honest optimum since the plan is redundant.
+func TestResilientCycleMissingBus(t *testing.T) {
+	g, plan, dispatch, pf := operatingPoint(t)
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastGood := z.Clone()
+	partial := z.Clone()
+	var dropped int
+	for i := 1; i <= plan.M(); i++ {
+		if plan.Taken[i] && plan.BusOf(i, g) == 3 {
+			partial.Present[i] = false
+			partial.Values[i] = 0
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("bus 3 owns no taken measurements; scenario broken")
+	}
+	p := NewPipeline(g, plan)
+	// The strict cycle refuses partial telemetry outright.
+	if _, err := p.RunCycle(partial, topo.TrueReport(g), dispatch); err == nil {
+		t.Fatal("strict RunCycle accepted partial telemetry")
+	}
+	res, err := p.RunCycleResilient(partial, topo.TrueReport(g), dispatch, lastGood)
+	if err != nil {
+		t.Fatalf("RunCycleResilient: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("missing telemetry must flag the cycle degraded")
+	}
+	if !res.Redispatched || res.Dispatch == nil {
+		t.Fatal("degraded cycle must still produce a dispatch")
+	}
+	// Exact surviving measurements (plus exact pseudo values if needed):
+	// the load picture and cost stay at the honest values.
+	for _, ld := range g.Loads {
+		if math.Abs(res.LoadEstimates[ld.Bus-1]-ld.P) > 1e-6 {
+			t.Errorf("bus %d load estimate %v, want %v", ld.Bus, res.LoadEstimates[ld.Bus-1], ld.P)
+		}
+	}
+	if res.Dispatch.Cost > 1374 || res.Dispatch.Cost < 1373 {
+		t.Errorf("degraded OPF cost %v, want ~1373.57", res.Dispatch.Cost)
+	}
+}

@@ -1,0 +1,244 @@
+// Package faultinject provides a deterministic, seedable network fault
+// injector for exercising the SCADA telemetry pipeline under realistic
+// failure: dropped connections, injected latency, corrupted bytes,
+// truncated frames, and mid-stream resets.
+//
+// The injector wraps a net.Listener; every accepted connection is assigned
+// one fault drawn either from a scripted sequence (connection i gets script
+// entry i, Pass once the script is exhausted) or from a seeded probabilistic
+// schedule. Both modes are fully deterministic: the scripted mode by
+// construction, the probabilistic mode because decisions are drawn from a
+// math/rand source in accept order, which is sequential for a polling
+// collector. That determinism is what makes chaos testing repeatable — the
+// same seed replays the same failure trace.
+package faultinject
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// Pass leaves the connection untouched.
+	Pass Kind = iota
+	// Drop closes the connection immediately on accept: the peer sees a
+	// reset/EOF before any byte is exchanged.
+	Drop
+	// Delay sleeps before every write on the connection, modeling link
+	// latency (or, when the delay exceeds the peer's deadline, a stall).
+	Delay
+	// Corrupt flips one byte in every write, modeling in-flight bit errors.
+	Corrupt
+	// Truncate writes only a prefix of the first write and then closes,
+	// modeling a frame cut short by a dying link.
+	Truncate
+	// Reset allows reads but closes the connection right before the first
+	// write, modeling a peer crash between request and response.
+	Reset
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Reset:
+		return "reset"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one per-connection fault decision.
+type Fault struct {
+	Kind  Kind
+	Delay time.Duration // Delay kind: latency added before each write
+}
+
+// Config is the probabilistic schedule: per-connection probabilities of each
+// fault class (evaluated in the order drop, delay, corrupt, truncate,
+// reset; the remainder passes). Probabilities must each lie in [0, 1] and
+// their sum must not exceed 1.
+type Config struct {
+	Drop, Delay, Corrupt, Truncate, Reset float64
+	// DelayDuration is the latency injected by Delay faults (0: 50ms).
+	DelayDuration time.Duration
+}
+
+func (c Config) delayDuration() time.Duration {
+	if c.DelayDuration <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.DelayDuration
+}
+
+// Stats counts injected faults by class.
+type Stats struct {
+	Conns, Drops, Delays, Corrupts, Truncates, Resets int
+}
+
+// Injector decides and applies one fault per accepted connection.
+type Injector struct {
+	mu     sync.Mutex
+	script []Fault
+	next   int
+	cfg    Config
+	rng    *rand.Rand
+	stats  Stats
+}
+
+// NewScripted returns an injector that applies faults[i] to the i-th
+// accepted connection and passes everything after the script ends.
+func NewScripted(faults ...Fault) *Injector {
+	return &Injector{script: append([]Fault(nil), faults...)}
+}
+
+// New returns a probabilistic injector; identical seeds replay identical
+// fault traces for identical accept sequences.
+func New(seed int64, cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset replaces the schedule with a new script (restarting at its head).
+// Pass no faults to clear all injection.
+func (in *Injector) Reset(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.script = append([]Fault(nil), faults...)
+	in.next = 0
+	in.rng = nil
+	in.cfg = Config{}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// decide draws the fault for the next accepted connection.
+func (in *Injector) decide() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Conns++
+	var f Fault
+	switch {
+	case in.next < len(in.script):
+		f = in.script[in.next]
+		in.next++
+	case in.rng != nil:
+		u := in.rng.Float64()
+		c := in.cfg
+		switch {
+		case u < c.Drop:
+			f = Fault{Kind: Drop}
+		case u < c.Drop+c.Delay:
+			f = Fault{Kind: Delay, Delay: c.delayDuration()}
+		case u < c.Drop+c.Delay+c.Corrupt:
+			f = Fault{Kind: Corrupt}
+		case u < c.Drop+c.Delay+c.Corrupt+c.Truncate:
+			f = Fault{Kind: Truncate}
+		case u < c.Drop+c.Delay+c.Corrupt+c.Truncate+c.Reset:
+			f = Fault{Kind: Reset}
+		}
+	}
+	switch f.Kind {
+	case Drop:
+		in.stats.Drops++
+	case Delay:
+		in.stats.Delays++
+	case Corrupt:
+		in.stats.Corrupts++
+	case Truncate:
+		in.stats.Truncates++
+	case Reset:
+		in.stats.Resets++
+	}
+	return f
+}
+
+// WrapListener returns a listener whose accepted connections are subjected
+// to the injector's schedule.
+func (in *Injector) WrapListener(l net.Listener) net.Listener {
+	return &listener{Listener: l, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	f := l.in.decide()
+	if f.Kind == Drop {
+		conn.Close()
+		// Hand the (dead) connection to the server anyway: its first read
+		// fails and the handler exits, exactly like a peer that vanished.
+		return conn, nil
+	}
+	if f.Kind == Pass {
+		return conn, nil
+	}
+	return &faultConn{Conn: conn, fault: f}, nil
+}
+
+// faultConn applies one fault to a connection's write side. The server side
+// of the SCADA protocol only writes telemetry responses, so write-side
+// faults corrupt exactly the frames the control center consumes.
+type faultConn struct {
+	net.Conn
+	fault  Fault
+	writes int
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.writes++
+	switch c.fault.Kind {
+	case Delay:
+		time.Sleep(c.fault.Delay)
+		return c.Conn.Write(b)
+	case Corrupt:
+		if len(b) == 0 {
+			return c.Conn.Write(b)
+		}
+		mut := append([]byte(nil), b...)
+		mut[len(mut)/2] ^= 0xFF
+		return c.Conn.Write(mut)
+	case Truncate:
+		if c.writes == 1 {
+			n := len(b) / 2
+			if _, err := c.Conn.Write(b[:n]); err != nil {
+				return 0, err
+			}
+			c.Conn.Close()
+			return n, net.ErrClosed
+		}
+		return 0, net.ErrClosed
+	case Reset:
+		if c.writes == 1 {
+			c.Conn.Close()
+		}
+		return 0, net.ErrClosed
+	default:
+		return c.Conn.Write(b)
+	}
+}

@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on l and, per connection, reads one byte
+// and writes back a fixed 8-byte reply. It stops when the listener closes.
+func echoServer(l net.Listener, reply []byte) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			_, _ = c.Write(reply)
+		}(conn)
+	}
+}
+
+// dialOnce sends one request byte and reads up to len(reply) bytes back,
+// returning what arrived and whether the read completed.
+func dialOnce(t *testing.T, addr string, n int) ([]byte, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte{1}); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	m, err := io.ReadFull(conn, buf)
+	return buf[:m], err
+}
+
+func wrapEcho(t *testing.T, in *Injector, reply []byte) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := in.WrapListener(l)
+	go echoServer(wl, reply)
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+func TestScriptedFaults(t *testing.T) {
+	reply := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0x11, 0x22, 0x33, 0x44}
+	in := NewScripted(
+		Fault{Kind: Drop},
+		Fault{Kind: Corrupt},
+		Fault{Kind: Truncate},
+		Fault{Kind: Reset},
+		Fault{Kind: Pass},
+	)
+	addr := wrapEcho(t, in, reply)
+
+	// Conn 1: dropped — either the write or the read fails, never a reply.
+	if got, err := dialOnce(t, addr, len(reply)); err == nil {
+		t.Fatalf("drop: want error, got reply %x", got)
+	}
+	// Conn 2: corrupted — full-length reply with exactly one byte flipped.
+	got, err := dialOnce(t, addr, len(reply))
+	if err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	diff := 0
+	for i := range reply {
+		if got[i] != reply[i] {
+			diff++
+			if got[i] != reply[i]^0xFF {
+				t.Errorf("corrupt byte %d: got %x, want %x", i, got[i], reply[i]^0xFF)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corrupt: %d bytes differ, want 1", diff)
+	}
+	// Conn 3: truncated — a strict prefix arrives, then EOF.
+	got, err = dialOnce(t, addr, len(reply))
+	if err == nil || len(got) >= len(reply) {
+		t.Fatalf("truncate: got %d bytes, err %v; want short read", len(got), err)
+	}
+	// Conn 4: reset — no reply bytes at all.
+	if got, err = dialOnce(t, addr, len(reply)); err == nil {
+		t.Fatalf("reset: want error, got %x", got)
+	}
+	// Conn 5 and beyond (script exhausted): clean pass-through.
+	for i := 0; i < 2; i++ {
+		got, err = dialOnce(t, addr, len(reply))
+		if err != nil {
+			t.Fatalf("pass conn %d: %v", i, err)
+		}
+		for j := range reply {
+			if got[j] != reply[j] {
+				t.Fatalf("pass conn %d byte %d: got %x want %x", i, j, got[j], reply[j])
+			}
+		}
+	}
+
+	st := in.Stats()
+	if st.Drops != 1 || st.Corrupts != 1 || st.Truncates != 1 || st.Resets != 1 {
+		t.Errorf("stats = %+v, want one of each scripted fault", st)
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	reply := []byte{1, 2, 3, 4}
+	const d = 60 * time.Millisecond
+	in := NewScripted(Fault{Kind: Delay, Delay: d})
+	addr := wrapEcho(t, in, reply)
+	start := time.Now()
+	if _, err := dialOnce(t, addr, len(reply)); err != nil {
+		t.Fatalf("delayed conn: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Errorf("reply after %v, want >= %v", elapsed, d)
+	}
+}
+
+// TestProbabilisticDeterminism: identical seeds must replay the identical
+// fault sequence; a different seed should (for this configuration) differ.
+func TestProbabilisticDeterminism(t *testing.T) {
+	cfg := Config{Drop: 0.2, Delay: 0.2, Corrupt: 0.2, Truncate: 0.2, Reset: 0.2}
+	draw := func(seed int64, n int) []Kind {
+		in := New(seed, cfg)
+		out := make([]Kind, n)
+		for i := range out {
+			out[i] = in.decide().Kind
+		}
+		return out
+	}
+	a, b := draw(42, 200), draw(42, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverges at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 200-draw traces")
+	}
+	// With all classes at 0.2 every class must appear in 200 draws.
+	in := New(7, cfg)
+	for i := 0; i < 200; i++ {
+		in.decide()
+	}
+	st := in.Stats()
+	if st.Drops == 0 || st.Delays == 0 || st.Corrupts == 0 || st.Truncates == 0 || st.Resets == 0 {
+		t.Errorf("200 draws at p=0.2 each missed a class: %+v", st)
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	in := NewScripted(Fault{Kind: Drop})
+	if f := in.decide(); f.Kind != Drop {
+		t.Fatalf("first decision %v, want drop", f.Kind)
+	}
+	if f := in.decide(); f.Kind != Pass {
+		t.Fatalf("post-script decision %v, want pass", f.Kind)
+	}
+	in.Reset(Fault{Kind: Corrupt})
+	if f := in.decide(); f.Kind != Corrupt {
+		t.Fatalf("post-reset decision %v, want corrupt", f.Kind)
+	}
+	in.Reset()
+	if f := in.decide(); f.Kind != Pass {
+		t.Fatalf("cleared injector decision %v, want pass", f.Kind)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Config
+		wantErr bool
+	}{
+		{"", Config{}, false},
+		{"drop=0.3", Config{Drop: 0.3}, false},
+		{"drop=0.2,corrupt=0.1", Config{Drop: 0.2, Corrupt: 0.1}, false},
+		{"delay=0.5:75ms", Config{Delay: 0.5, DelayDuration: 75 * time.Millisecond}, false},
+		{" drop=0.1 , reset=0.2 ", Config{Drop: 0.1, Reset: 0.2}, false},
+		{"truncate=1", Config{Truncate: 1}, false},
+		{"drop=1.5", Config{}, true},
+		{"drop=-0.1", Config{}, true},
+		{"flood=0.5", Config{}, true},
+		{"drop", Config{}, true},
+		{"delay=0.5:xyz", Config{}, true},
+		{"drop=0.6,reset=0.6", Config{}, true}, // sum > 1
+	}
+	for _, tc := range tests {
+		got, err := ParseSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrSpec reports a malformed fault specification string.
+var ErrSpec = errors.New("faultinject: invalid spec")
+
+// ParseSpec parses a comma-separated fault specification of the form
+//
+//	drop=0.2,delay=0.1:50ms,corrupt=0.1,truncate=0.05,reset=0.05
+//
+// where each value is a per-connection probability and the optional
+// ":duration" suffix on delay sets the injected latency. An empty string
+// yields the zero Config (no faults).
+func ParseSpec(s string) (Config, error) {
+	var cfg Config
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("%w: %q (want kind=prob)", ErrSpec, part)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if key == "delay" {
+			if pstr, dstr, has := strings.Cut(val, ":"); has {
+				d, err := time.ParseDuration(dstr)
+				if err != nil || d <= 0 {
+					return Config{}, fmt.Errorf("%w: delay duration %q", ErrSpec, dstr)
+				}
+				cfg.DelayDuration = d
+				val = pstr
+			}
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return Config{}, fmt.Errorf("%w: probability %q for %s", ErrSpec, val, key)
+		}
+		switch key {
+		case "drop":
+			cfg.Drop = p
+		case "delay":
+			cfg.Delay = p
+		case "corrupt":
+			cfg.Corrupt = p
+		case "truncate":
+			cfg.Truncate = p
+		case "reset":
+			cfg.Reset = p
+		default:
+			return Config{}, fmt.Errorf("%w: unknown fault kind %q", ErrSpec, key)
+		}
+	}
+	if sum := cfg.Drop + cfg.Delay + cfg.Corrupt + cfg.Truncate + cfg.Reset; sum > 1 {
+		return Config{}, fmt.Errorf("%w: probabilities sum to %.3f > 1", ErrSpec, sum)
+	}
+	return cfg, nil
+}

@@ -2,7 +2,9 @@ package scada
 
 import (
 	"fmt"
+	"math"
 	"net"
+	"sort"
 	"time"
 
 	"gridattack/internal/grid"
@@ -13,18 +15,54 @@ import (
 // Center is the control-center collector: it polls every RTU and assembles
 // the system-wide measurement vector and breaker status report consumed by
 // the EMS pipeline (topology processor, state estimator, OPF).
+//
+// Two collection modes are offered. Collect is strict: any RTU failure
+// (after retries) fails the whole round — the legacy behavior, right for
+// tests that assert on failures. CollectPartial is resilient: failed RTUs
+// are skipped, their breaker statuses are served from the last good
+// snapshot (seeded from the grid's as-designed statuses), and the
+// measurement vector is returned with those entries absent so the state
+// estimator can run its own observability analysis over the survivors.
 type Center struct {
 	grid *grid.Grid
 	plan *measure.Plan
 	// Timeout bounds each RTU poll round trip; 0 selects 5 seconds.
 	Timeout time.Duration
+	// Retries is the number of additional attempts per RTU after a failed
+	// poll; 0 disables retrying.
+	Retries int
+	// Backoff spaces retries; nil selects NewBackoff(0)'s defaults with an
+	// unseeded jitter stream.
+	Backoff *Backoff
+	// BreakerThreshold and BreakerOpenFor configure the per-RTU circuit
+	// breakers used by CollectPartial (zero values pick the
+	// CircuitBreaker defaults). Breakers are created lazily per bus.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
 
-	addrs map[int]string // bus -> RTU address
+	addrs    map[int]string // bus -> RTU address
+	breakers map[int]*CircuitBreaker
+
+	lastZ      *measure.Vector // last good value per measurement, cumulative
+	lastStatus map[int]bool    // line -> last known breaker status
 }
 
-// NewCenter returns a collector for the grid and plan.
+// NewCenter returns a collector for the grid and plan. The last-known
+// breaker statuses start from the grid's as-designed (in-service) states so
+// a first-round RTU outage still yields a complete topology picture.
 func NewCenter(g *grid.Grid, plan *measure.Plan) *Center {
-	return &Center{grid: g, plan: plan, addrs: make(map[int]string)}
+	c := &Center{
+		grid:       g,
+		plan:       plan,
+		addrs:      make(map[int]string),
+		breakers:   make(map[int]*CircuitBreaker),
+		lastZ:      measure.NewVector(plan.M()),
+		lastStatus: make(map[int]bool, g.NumLines()),
+	}
+	for _, ln := range g.Lines {
+		c.lastStatus[ln.ID] = ln.InService
+	}
+	return c
 }
 
 // Register records the network address of a bus's RTU.
@@ -32,12 +70,25 @@ func (c *Center) Register(bus int, addr string) {
 	c.addrs[bus] = addr
 }
 
-// Collect polls every registered RTU and merges the responses.
-func (c *Center) Collect() (*measure.Vector, *topo.Report, error) {
-	timeout := c.Timeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+// LastGood returns a copy of the most recent good value observed for every
+// measurement across all collection rounds — the pseudo-measurement source
+// for degraded-mode state estimation.
+func (c *Center) LastGood() *measure.Vector { return c.lastZ.Clone() }
+
+// Breaker returns the circuit breaker guarding a bus's RTU, creating it on
+// first use.
+func (c *Center) Breaker(bus int) *CircuitBreaker {
+	cb, ok := c.breakers[bus]
+	if !ok {
+		cb = &CircuitBreaker{Threshold: c.BreakerThreshold, OpenFor: c.BreakerOpenFor}
+		c.breakers[bus] = cb
 	}
+	return cb
+}
+
+// Collect polls every registered RTU and merges the responses. Any RTU
+// failure after retries fails the round.
+func (c *Center) Collect() (*measure.Vector, *topo.Report, error) {
 	z := measure.NewVector(c.plan.M())
 	statuses := make([]topo.Status, 0, c.grid.NumLines())
 	for bus := 1; bus <= c.grid.NumBuses(); bus++ {
@@ -45,30 +96,172 @@ func (c *Center) Collect() (*measure.Vector, *topo.Report, error) {
 		if !ok {
 			continue
 		}
-		t, err := c.pollOne(addr, timeout)
+		t, err := c.pollWithRetry(addr, bus)
 		if err != nil {
 			return nil, nil, fmt.Errorf("scada: poll bus %d: %w", bus, err)
 		}
-		if int(t.Bus) != bus {
-			return nil, nil, fmt.Errorf("%w: RTU at %s claims bus %d, want %d", ErrProtocol, addr, t.Bus, bus)
-		}
-		for _, m := range t.Measurements {
-			idx := int(m.Index)
-			if idx < 1 || idx > c.plan.M() {
-				return nil, nil, fmt.Errorf("%w: measurement index %d out of range", ErrProtocol, idx)
-			}
-			z.Values[idx] = m.Value
-			z.Present[idx] = true
-		}
-		for _, s := range t.Statuses {
-			statuses = append(statuses, topo.Status{Line: int(s.Line), Closed: s.Closed})
-		}
+		c.merge(t, z, &statuses)
 	}
 	report, err := topo.NewReport(statuses)
 	if err != nil {
 		return nil, nil, err
 	}
 	return z, report, nil
+}
+
+// CollectResult is the outcome of one resilient collection round.
+type CollectResult struct {
+	// Z holds the measurements actually received this round; entries owned
+	// by failed RTUs are absent (Present false).
+	Z *measure.Vector
+	// Report is the complete breaker-status picture: received statuses,
+	// with failed RTUs' lines filled from the last known statuses.
+	Report *topo.Report
+	// Failed lists buses whose RTU poll failed every attempt this round.
+	Failed []int
+	// Skipped lists buses not polled because their circuit breaker was
+	// open (a subset of Failed).
+	Skipped []int
+	// Stale lists buses whose breaker statuses were served from the
+	// last-known cache (union of Failed and Skipped, kept separate for
+	// reporting).
+	Stale []int
+	// Attempts counts every poll attempt made this round.
+	Attempts int
+}
+
+// Degraded reports whether any RTU's telemetry is missing this round.
+func (r *CollectResult) Degraded() bool { return len(r.Failed) > 0 }
+
+// CollectPartial polls every registered RTU, tolerating failures: each RTU
+// gets Retries+1 attempts (spaced by Backoff) unless its circuit breaker is
+// open, and failures degrade the result instead of aborting the round.
+func (c *Center) CollectPartial() (*CollectResult, error) {
+	res := &CollectResult{Z: measure.NewVector(c.plan.M())}
+	statuses := make([]topo.Status, 0, c.grid.NumLines())
+	seen := make(map[int]bool, c.grid.NumLines())
+	staleSet := make(map[int]bool)
+	for bus := 1; bus <= c.grid.NumBuses(); bus++ {
+		addr, ok := c.addrs[bus]
+		if !ok {
+			continue
+		}
+		cb := c.Breaker(bus)
+		if !cb.Allow() {
+			res.Skipped = append(res.Skipped, bus)
+			res.Failed = append(res.Failed, bus)
+			staleSet[bus] = true
+			continue
+		}
+		t, attempts, err := c.pollCounted(addr, bus)
+		res.Attempts += attempts
+		if err != nil {
+			cb.Failure()
+			res.Failed = append(res.Failed, bus)
+			staleSet[bus] = true
+			continue
+		}
+		cb.Success()
+		c.merge(t, res.Z, &statuses)
+		for _, s := range t.Statuses {
+			seen[int(s.Line)] = true
+		}
+	}
+	// Fill breaker statuses that no surviving RTU reported from the last
+	// known states so the topology processor always gets a full picture.
+	for _, ln := range c.grid.Lines {
+		if !seen[ln.ID] {
+			statuses = append(statuses, topo.Status{Line: ln.ID, Closed: c.lastStatus[ln.ID]})
+		}
+	}
+	report, err := topo.NewReport(statuses)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = report
+	res.Stale = make([]int, 0, len(staleSet))
+	for bus := range staleSet {
+		res.Stale = append(res.Stale, bus)
+	}
+	sort.Ints(res.Stale)
+	return res, nil
+}
+
+// merge folds one validated telemetry snapshot into the measurement vector
+// and status list, and refreshes the last-good caches.
+func (c *Center) merge(t *Telemetry, z *measure.Vector, statuses *[]topo.Status) {
+	for _, m := range t.Measurements {
+		idx := int(m.Index)
+		z.Values[idx] = m.Value
+		z.Present[idx] = true
+		c.lastZ.Values[idx] = m.Value
+		c.lastZ.Present[idx] = true
+	}
+	for _, s := range t.Statuses {
+		*statuses = append(*statuses, topo.Status{Line: int(s.Line), Closed: s.Closed})
+		c.lastStatus[int(s.Line)] = s.Closed
+	}
+}
+
+// validate rejects telemetry that is malformed at the application layer:
+// wrong bus claim, out-of-range measurement indices, or non-finite values
+// (the signature of a corrupted float payload).
+func (c *Center) validate(t *Telemetry, bus int, addr string) error {
+	if int(t.Bus) != bus {
+		return fmt.Errorf("%w: RTU at %s claims bus %d, want %d", ErrProtocol, addr, t.Bus, bus)
+	}
+	for _, m := range t.Measurements {
+		idx := int(m.Index)
+		if idx < 1 || idx > c.plan.M() {
+			return fmt.Errorf("%w: measurement index %d out of range", ErrProtocol, idx)
+		}
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return fmt.Errorf("%w: non-finite value for measurement %d", ErrProtocol, idx)
+		}
+	}
+	for _, s := range t.Statuses {
+		if l := int(s.Line); l < 1 || l > c.grid.NumLines() {
+			return fmt.Errorf("%w: status line %d out of range", ErrProtocol, l)
+		}
+	}
+	return nil
+}
+
+func (c *Center) pollWithRetry(addr string, bus int) (*Telemetry, error) {
+	t, _, err := c.pollCounted(addr, bus)
+	return t, err
+}
+
+// pollCounted runs up to Retries+1 poll attempts against one RTU, spacing
+// them with the backoff schedule, and returns the attempt count.
+func (c *Center) pollCounted(addr string, bus int) (*Telemetry, int, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	bo := c.Backoff
+	if bo == nil {
+		bo = NewBackoff(0)
+		c.Backoff = bo
+	}
+	var lastErr error
+	attempts := 0
+	for try := 0; try <= c.Retries; try++ {
+		if try > 0 {
+			time.Sleep(bo.Delay(try - 1))
+		}
+		attempts++
+		t, err := c.pollOne(addr, timeout)
+		if err == nil {
+			if verr := c.validate(t, bus, addr); verr != nil {
+				lastErr = verr
+				continue
+			}
+			return t, attempts, nil
+		}
+		lastErr = err
+	}
+	return nil, attempts, lastErr
 }
 
 func (c *Center) pollOne(addr string, timeout time.Duration) (*Telemetry, error) {

@@ -1,11 +1,14 @@
 package scada
 
 import (
+	"errors"
+	"math"
 	"net"
 	"testing"
 	"time"
 
 	"gridattack/internal/cases"
+	"gridattack/internal/faultinject"
 )
 
 // TestCenterGarbageServer: a server speaking a different protocol must
@@ -162,5 +165,230 @@ func TestMITMUpstreamDown(t *testing.T) {
 	center.Register(1, proxyAddr)
 	if _, _, err := center.Collect(); err == nil {
 		t.Fatal("want error when upstream RTU is down")
+	}
+}
+
+// TestMITMDialBounded: the proxy's upstream dial must use net.DialTimeout
+// with the configured timeout — an unresponsive upstream may not hang the
+// proxied connection forever (regression test for the unbounded net.Dial).
+func TestMITMDialBounded(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	for _, tc := range []struct {
+		name       string
+		configured time.Duration
+		want       time.Duration
+	}{
+		{"configured", 1234 * time.Millisecond, 1234 * time.Millisecond},
+		{"default", 0, 5 * time.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			proxy := NewMITM(g, plan, "203.0.113.1:9999")
+			proxy.Timeout = tc.configured
+			got := make(chan time.Duration, 1)
+			proxy.dial = func(network, addr string, timeout time.Duration) (net.Conn, error) {
+				got <- timeout
+				return nil, errors.New("refused")
+			}
+			proxyAddr, err := proxy.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer proxy.Close()
+			center := NewCenter(g, plan)
+			center.Timeout = time.Second
+			center.Register(1, proxyAddr)
+			if _, _, err := center.Collect(); err == nil {
+				t.Fatal("want poll error when upstream dial fails")
+			}
+			select {
+			case d := <-got:
+				if d != tc.want {
+					t.Errorf("upstream dial timeout = %v, want %v", d, tc.want)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("proxy never dialed upstream")
+			}
+		})
+	}
+}
+
+// TestCenterRetryRecovers: with retries enabled, a connection dropped by
+// the fault injector on the first attempt must not fail the poll.
+func TestCenterRetryRecovers(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	rtu := NewRTU(g, plan, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.NewScripted(faultinject.Fault{Kind: faultinject.Drop})
+	addr := rtu.Serve(inj.WrapListener(l))
+	defer rtu.Close()
+
+	center := NewCenter(g, plan)
+	center.Timeout = 2 * time.Second
+	center.Backoff = NewBackoff(1)
+	center.Backoff.Base, center.Backoff.Max = time.Millisecond, 5*time.Millisecond
+	center.Register(1, addr)
+
+	// Without retries the dropped first connection fails the round.
+	if _, _, err := center.Collect(); err == nil {
+		t.Fatal("want error with retries disabled and a dropped connection")
+	}
+	inj.Reset(faultinject.Fault{Kind: faultinject.Drop})
+	center.Retries = 2
+	if _, _, err := center.Collect(); err != nil {
+		t.Fatalf("Collect with retries: %v", err)
+	}
+}
+
+// TestCollectPartialDeadRTU: a dead RTU degrades the round instead of
+// failing it — its measurements are absent, its breaker statuses come from
+// the last-known (as-designed) states, and the report stays complete.
+func TestCollectPartialDeadRTU(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), cases.Paper5OperatingDispatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := NewCenter(g, plan)
+	center.Timeout = time.Second
+	var closers []interface{ Close() error }
+	defer func() {
+		for _, c := range closers {
+			_ = c.Close()
+		}
+	}()
+	// Live RTUs on every bus except 2, which points at a dead port.
+	for bus := 1; bus <= g.NumBuses(); bus++ {
+		if bus == 2 {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dead := l.Addr().String()
+			l.Close()
+			center.Register(bus, dead)
+			continue
+		}
+		rtu := NewRTU(g, plan, bus)
+		rtu.UpdateFromVector(z)
+		addr, err := rtu.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		closers = append(closers, rtu)
+		center.Register(bus, addr)
+	}
+	res, err := center.CollectPartial()
+	if err != nil {
+		t.Fatalf("CollectPartial: %v", err)
+	}
+	if !res.Degraded() || len(res.Failed) != 1 || res.Failed[0] != 2 {
+		t.Fatalf("Failed = %v, want [2]", res.Failed)
+	}
+	// Bus 2's measurements must be absent, everyone else's present.
+	for i := 1; i <= plan.M(); i++ {
+		if !plan.Taken[i] {
+			continue
+		}
+		wantPresent := plan.BusOf(i, g) != 2
+		if res.Z.Present[i] != wantPresent {
+			t.Errorf("measurement %d present = %v, want %v", i, res.Z.Present[i], wantPresent)
+		}
+	}
+	// The report still covers every line (bus 2's lines from design state).
+	for _, ln := range g.Lines {
+		if got, want := res.Report.Closed(ln.ID), ln.InService; got != want {
+			t.Errorf("line %d status = %v, want %v", ln.ID, got, want)
+		}
+	}
+}
+
+// TestCollectPartialBreakerSkips: once a bus's breaker trips, later rounds
+// skip it without paying dial attempts.
+func TestCollectPartialBreakerSkips(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	center := NewCenter(g, plan)
+	center.Timeout = time.Second
+	center.BreakerThreshold = 1
+	center.BreakerOpenFor = time.Hour
+	center.Register(1, dead)
+
+	res1, err := center.CollectPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Skipped) != 0 || res1.Attempts == 0 {
+		t.Fatalf("round 1: skipped %v attempts %d, want a real attempt", res1.Skipped, res1.Attempts)
+	}
+	res2, err := center.CollectPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Skipped) != 1 || res2.Skipped[0] != 1 || res2.Attempts != 0 {
+		t.Fatalf("round 2: skipped %v attempts %d, want bus 1 skipped with 0 attempts", res2.Skipped, res2.Attempts)
+	}
+}
+
+// TestCenterRejectsNonFinite: corrupted float payloads that decode to NaN
+// must be rejected at the application layer, not fed to the estimator.
+func TestCenterRejectsNonFinite(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					msgType, _, err := ReadFrame(c)
+					if err != nil || msgType != MsgPoll {
+						return
+					}
+					tl := &Telemetry{Bus: 1, Measurements: []MeasurementReading{
+						{Index: 1, Value: math.NaN()},
+					}}
+					if err := WriteFrame(c, MsgTelemetry, tl.Encode()); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	center := NewCenter(g, plan)
+	center.Timeout = time.Second
+	center.Register(1, l.Addr().String())
+	if _, _, err := center.Collect(); err == nil || !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Collect = %v, want ErrProtocol for NaN measurement", err)
+	}
+	res, err := center.CollectPartial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 1 {
+		t.Fatalf("CollectPartial Failed = %v, want [1]", res.Failed)
 	}
 }

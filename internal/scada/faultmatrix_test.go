@@ -1,0 +1,185 @@
+package scada
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/ems"
+	"gridattack/internal/faultinject"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// faultFleet is one RTU fleet with per-bus fault injectors on the faulted
+// buses and a resilient center in front.
+type faultFleet struct {
+	center    *Center
+	injectors map[int]*faultinject.Injector
+	closers   []interface{ Close() error }
+}
+
+func (f *faultFleet) Close() {
+	for _, c := range f.closers {
+		_ = c.Close()
+	}
+}
+
+// newFaultFleet brings up one RTU per bus serving the exact telemetry z,
+// wrapping the listeners of faultedBuses in (initially pass-through)
+// injectors.
+func newFaultFleet(t *testing.T, g *grid.Grid, plan *measure.Plan, z *measure.Vector, faultedBuses ...int) *faultFleet {
+	t.Helper()
+	f := &faultFleet{injectors: make(map[int]*faultinject.Injector)}
+	faulted := make(map[int]bool)
+	for _, bus := range faultedBuses {
+		faulted[bus] = true
+	}
+	f.center = NewCenter(g, plan)
+	f.center.Timeout = 2 * time.Second
+	f.center.Retries = 2
+	f.center.Backoff = NewBackoff(1)
+	f.center.Backoff.Base, f.center.Backoff.Max = time.Millisecond, 5*time.Millisecond
+	for bus := 1; bus <= g.NumBuses(); bus++ {
+		rtu := NewRTU(g, plan, bus)
+		rtu.UpdateFromVector(z)
+		var addr string
+		if faulted[bus] {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := faultinject.NewScripted() // pass-through until Reset
+			f.injectors[bus] = inj
+			addr = rtu.Serve(inj.WrapListener(l))
+		} else {
+			var err error
+			addr, err = rtu.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.closers = append(f.closers, rtu)
+		f.center.Register(bus, addr)
+	}
+	return f
+}
+
+// runCycle executes one resilient collection + EMS cycle.
+func runCycle(t *testing.T, f *faultFleet, p *ems.Pipeline, dispatch []float64) *ems.CycleResult {
+	t.Helper()
+	col, err := f.center.CollectPartial()
+	if err != nil {
+		t.Fatalf("CollectPartial: %v", err)
+	}
+	cycle, err := p.RunCycleResilient(col.Z, col.Report, dispatch, f.center.LastGood())
+	if err != nil {
+		t.Fatalf("RunCycleResilient: %v", err)
+	}
+	if cycle.Estimate == nil {
+		t.Fatal("cycle produced no estimate")
+	}
+	return cycle
+}
+
+// TestFaultMatrix drives scripted drop/delay/corrupt/truncate/reset (and a
+// mixed) scenario against the RTUs of buses 2 and 3 and asserts the
+// resilience contract: the center never fails a round, the SE produces an
+// estimate every cycle, and once the faults clear the estimate and
+// dispatch converge bit-for-bit to the fault-free baseline.
+func TestFaultMatrix(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	dispatch := cases.Paper5OperatingDispatch()
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free baseline over the wire.
+	base := newFaultFleet(t, g, plan, z)
+	defer base.Close()
+	pipeline := ems.NewPipeline(g, plan)
+	pipeline.ResidualThreshold = 1e-6
+	baseline := runCycle(t, base, pipeline, dispatch)
+
+	rep := func(f faultinject.Fault, n int) []faultinject.Fault {
+		out := make([]faultinject.Fault, n)
+		for i := range out {
+			out[i] = f
+		}
+		return out
+	}
+	scenarios := []struct {
+		name       string
+		script     []faultinject.Fault
+		wantOutage bool // the faulted buses fail the whole first round
+	}{
+		// Three entries outlast Retries=2, so round one fails entirely.
+		{"drop", rep(faultinject.Fault{Kind: faultinject.Drop}, 3), true},
+		{"corrupt", rep(faultinject.Fault{Kind: faultinject.Corrupt}, 3), true},
+		{"truncate", rep(faultinject.Fault{Kind: faultinject.Truncate}, 3), true},
+		{"reset", rep(faultinject.Fault{Kind: faultinject.Reset}, 3), true},
+		// A sub-timeout delay only slows the poll down.
+		{"delay", rep(faultinject.Fault{Kind: faultinject.Delay, Delay: 20 * time.Millisecond}, 3), false},
+		{"mixed", []faultinject.Fault{
+			{Kind: faultinject.Drop},
+			{Kind: faultinject.Truncate},
+			{Kind: faultinject.Corrupt},
+		}, true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			fleet := newFaultFleet(t, g, plan, z, 2, 3)
+			defer fleet.Close()
+			// Priming cycle (healthy): fills the last-good caches, as a
+			// really deployed center would have before faults strike.
+			prime := runCycle(t, fleet, pipeline, dispatch)
+			if prime.Degraded {
+				t.Fatal("priming cycle degraded; fleet broken")
+			}
+			for _, inj := range fleet.injectors {
+				inj.Reset(sc.script...)
+			}
+			// Two faulted cycles: every one must still yield an estimate.
+			sawDegraded := false
+			for i := 0; i < 2; i++ {
+				cycle := runCycle(t, fleet, pipeline, dispatch)
+				sawDegraded = sawDegraded || cycle.Degraded
+			}
+			if sc.wantOutage && !sawDegraded {
+				t.Error("faulted cycles never degraded; injector had no effect")
+			}
+			if !sc.wantOutage && sawDegraded {
+				t.Error("delay-only scenario should not degrade collection")
+			}
+			// Faults cleared (scripts exhausted): steady state must match
+			// the fault-free baseline bit for bit.
+			final := runCycle(t, fleet, pipeline, dispatch)
+			if final.Degraded || final.Stale {
+				t.Fatalf("post-fault cycle still degraded: %+v", final)
+			}
+			for i := range baseline.Estimate.Theta {
+				if final.Estimate.Theta[i] != baseline.Estimate.Theta[i] {
+					t.Errorf("theta[%d] = %v, want %v (bit-identical)", i, final.Estimate.Theta[i], baseline.Estimate.Theta[i])
+				}
+			}
+			if final.Estimate.Residual != baseline.Estimate.Residual {
+				t.Errorf("residual %v != baseline %v", final.Estimate.Residual, baseline.Estimate.Residual)
+			}
+			if final.Dispatch.Cost != baseline.Dispatch.Cost {
+				t.Errorf("dispatch cost %v != baseline %v", final.Dispatch.Cost, baseline.Dispatch.Cost)
+			}
+			for i := range baseline.LoadEstimates {
+				if final.LoadEstimates[i] != baseline.LoadEstimates[i] {
+					t.Errorf("load[%d] = %v, want %v", i, final.LoadEstimates[i], baseline.LoadEstimates[i])
+				}
+			}
+		})
+	}
+}

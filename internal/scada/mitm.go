@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"gridattack/internal/attack"
 	"gridattack/internal/grid"
@@ -20,6 +21,10 @@ type MITM struct {
 	grid *grid.Grid
 	plan *measure.Plan
 
+	// Timeout bounds the upstream dial (and defaults to 5s): a silent
+	// upstream must fail the proxied connection, not hang it forever.
+	Timeout time.Duration
+
 	mu     sync.Mutex
 	vector *attack.Vector
 
@@ -27,6 +32,9 @@ type MITM struct {
 	upstream string
 	wg       sync.WaitGroup
 	stop     chan struct{}
+
+	// dial is the upstream dialer, overridable in tests.
+	dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // NewMITM returns a proxy toward the RTU at upstream.
@@ -70,7 +78,15 @@ func (m *MITM) serve() {
 }
 
 func (m *MITM) handle(down net.Conn) {
-	up, err := net.Dial("tcp", m.upstream)
+	timeout := m.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	dial := m.dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	up, err := dial("tcp", m.upstream, timeout)
 	if err != nil {
 		return
 	}

@@ -160,6 +160,11 @@ func DecodeTelemetry(payload []byte) (*Telemetry, error) {
 		if err != nil {
 			return nil, err
 		}
+		if closed > 1 {
+			// Strict canonical form: anything but 0/1 is a corrupted frame,
+			// and accepting it would make decode/encode lossy.
+			return nil, fmt.Errorf("%w: status byte %d for line %d", ErrProtocol, closed, line)
+		}
 		t.Statuses = append(t.Statuses, StatusReading{Line: line, Closed: closed != 0})
 	}
 	if rd.remaining() != 0 {

@@ -1,0 +1,179 @@
+package scada
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential backoff delays with bounded,
+// deterministic jitter. The zero value is usable and picks sane defaults;
+// a non-nil rng (NewBackoff) makes the jitter reproducible for a seed.
+type Backoff struct {
+	Base   time.Duration // delay before the first retry (0: 50ms)
+	Max    time.Duration // cap on any single delay (0: 2s)
+	Factor float64       // multiplicative growth per attempt (<=1: 2)
+	Jitter float64       // fractional jitter amplitude in [0,1) (default 0.2)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a default backoff whose jitter stream is seeded, so a
+// fixed seed yields a bit-identical delay schedule.
+func NewBackoff(seed int64) *Backoff {
+	return &Backoff{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *Backoff) params() (base, max time.Duration, factor, jitter float64) {
+	base, max, factor, jitter = b.Base, b.Max, b.Factor, b.Jitter
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	if jitter <= 0 || jitter >= 1 {
+		jitter = 0.2
+	}
+	return base, max, factor, jitter
+}
+
+// Delay returns the wait before retry attempt (0-based): base*factor^attempt
+// capped at max, then jittered by a uniformly drawn factor in [1-j, 1+j].
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base, max, factor, jitter := b.params()
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	b.mu.Lock()
+	rng := b.rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		b.rng = rng
+	}
+	u := rng.Float64()
+	b.mu.Unlock()
+	d *= 1 + jitter*(2*u-1)
+	return time.Duration(d)
+}
+
+// breakerState enumerates the circuit-breaker states.
+type breakerState int
+
+// Circuit-breaker states.
+const (
+	// BreakerClosed lets every poll through (the healthy state).
+	BreakerClosed breakerState = iota
+	// BreakerOpen rejects polls until the open interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe through after the open interval.
+	BreakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// CircuitBreaker trips after a run of consecutive failures so a dead RTU is
+// not re-dialed (and its timeout not re-paid) on every collection round.
+// After OpenFor it admits one probe; a success closes the breaker, a
+// failure re-opens it. The zero value is usable.
+type CircuitBreaker struct {
+	Threshold int           // consecutive failures that trip it (0: 3)
+	OpenFor   time.Duration // rejection window once tripped (0: 10s)
+
+	// now is the clock, overridable in tests; nil uses time.Now.
+	now func() time.Time
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+func (cb *CircuitBreaker) clock() time.Time {
+	if cb.now != nil {
+		return cb.now()
+	}
+	return time.Now()
+}
+
+func (cb *CircuitBreaker) threshold() int {
+	if cb.Threshold <= 0 {
+		return 3
+	}
+	return cb.Threshold
+}
+
+func (cb *CircuitBreaker) openFor() time.Duration {
+	if cb.OpenFor <= 0 {
+		return 10 * time.Second
+	}
+	return cb.OpenFor
+}
+
+// Allow reports whether a poll may proceed now.
+func (cb *CircuitBreaker) Allow() bool {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if cb.failures < cb.threshold() {
+		return true
+	}
+	if cb.clock().Before(cb.openUntil) {
+		return false
+	}
+	// Half-open: admit the probe; the next Success/Failure settles it.
+	cb.probing = true
+	return true
+}
+
+// Success records a successful poll, closing the breaker.
+func (cb *CircuitBreaker) Success() {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	cb.failures = 0
+	cb.probing = false
+	cb.openUntil = time.Time{}
+}
+
+// Failure records a failed poll; at the threshold (or on a failed probe)
+// the breaker opens for the configured window.
+func (cb *CircuitBreaker) Failure() {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	cb.failures++
+	cb.probing = false
+	if cb.failures >= cb.threshold() {
+		cb.openUntil = cb.clock().Add(cb.openFor())
+	}
+}
+
+// State returns the breaker's current state.
+func (cb *CircuitBreaker) State() breakerState {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if cb.failures < cb.threshold() {
+		return BreakerClosed
+	}
+	if cb.clock().Before(cb.openUntil) {
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}

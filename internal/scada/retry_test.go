@@ -1,0 +1,151 @@
+package scada
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule: the un-jittered schedule must grow by Factor from
+// Base and cap at Max, with every realized delay inside the jitter band.
+func TestBackoffSchedule(t *testing.T) {
+	tests := []struct {
+		name       string
+		base, max  time.Duration
+		factor     float64
+		jitter     float64
+		attempt    int
+		wantCenter time.Duration
+	}{
+		{"first", 100 * time.Millisecond, 5 * time.Second, 2, 0.2, 0, 100 * time.Millisecond},
+		{"second", 100 * time.Millisecond, 5 * time.Second, 2, 0.2, 1, 200 * time.Millisecond},
+		{"fifth", 100 * time.Millisecond, 5 * time.Second, 2, 0.2, 4, 1600 * time.Millisecond},
+		{"capped", 100 * time.Millisecond, 1 * time.Second, 2, 0.2, 10, 1 * time.Second},
+		{"factor3", 10 * time.Millisecond, 10 * time.Second, 3, 0.1, 3, 270 * time.Millisecond},
+		{"defaults", 0, 0, 0, 0, 0, 50 * time.Millisecond},
+		{"defaults-capped", 0, 0, 0, 0, 20, 2 * time.Second},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBackoff(1)
+			b.Base, b.Max, b.Factor, b.Jitter = tc.base, tc.max, tc.factor, tc.jitter
+			jitter := tc.jitter
+			if jitter <= 0 {
+				jitter = 0.2
+			}
+			for i := 0; i < 50; i++ {
+				d := b.Delay(tc.attempt)
+				// The nanosecond slack absorbs float64-to-Duration rounding.
+				lo := time.Duration(float64(tc.wantCenter)*(1-jitter)) - time.Nanosecond
+				hi := time.Duration(float64(tc.wantCenter)*(1+jitter)) + time.Nanosecond
+				if d < lo || d > hi {
+					t.Fatalf("Delay(%d) draw %d = %v, want in [%v, %v]", tc.attempt, i, d, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestBackoffDeterministic: identical seeds produce bit-identical delay
+// sequences; distinct seeds must diverge.
+func TestBackoffDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		b := NewBackoff(seed)
+		b.Base, b.Max = 10*time.Millisecond, time.Second
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = b.Delay(i % 6)
+		}
+		return out
+	}
+	a, b := draw(99), draw(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 99 diverges at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 99 and 100 produced identical delay sequences")
+	}
+}
+
+// TestCircuitBreakerLifecycle walks the breaker through closed -> open ->
+// half-open -> closed and half-open -> open using a fake clock.
+func TestCircuitBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cb := &CircuitBreaker{Threshold: 3, OpenFor: 10 * time.Second}
+	cb.now = func() time.Time { return now }
+
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("initial state %v, want closed", got)
+	}
+	// Two failures: still closed (threshold is 3).
+	cb.Failure()
+	cb.Failure()
+	if !cb.Allow() || cb.State() != BreakerClosed {
+		t.Fatalf("below threshold: state %v, allow %v; want closed/true", cb.State(), cb.Allow())
+	}
+	// Third consecutive failure trips it.
+	cb.Failure()
+	if cb.State() != BreakerOpen {
+		t.Fatalf("at threshold: state %v, want open", cb.State())
+	}
+	if cb.Allow() {
+		t.Fatal("open breaker must reject polls")
+	}
+	// Interleaved success would have reset the count: verify via fresh breaker.
+	fresh := &CircuitBreaker{Threshold: 3, OpenFor: 10 * time.Second}
+	fresh.now = func() time.Time { return now }
+	fresh.Failure()
+	fresh.Failure()
+	fresh.Success()
+	fresh.Failure()
+	fresh.Failure()
+	if fresh.State() != BreakerClosed {
+		t.Fatalf("success must reset the failure run; state %v", fresh.State())
+	}
+	// Clock advances past the window: half-open, one probe allowed.
+	now = now.Add(11 * time.Second)
+	if cb.State() != BreakerHalfOpen {
+		t.Fatalf("after window: state %v, want half-open", cb.State())
+	}
+	if !cb.Allow() {
+		t.Fatal("half-open breaker must admit a probe")
+	}
+	// Failed probe re-opens immediately.
+	cb.Failure()
+	if cb.State() != BreakerOpen || cb.Allow() {
+		t.Fatalf("failed probe: state %v, want open and rejecting", cb.State())
+	}
+	// Next window: successful probe closes it.
+	now = now.Add(11 * time.Second)
+	if !cb.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	cb.Success()
+	if cb.State() != BreakerClosed || !cb.Allow() {
+		t.Fatalf("after successful probe: state %v, want closed", cb.State())
+	}
+}
+
+// TestCircuitBreakerDefaults: the zero value trips after 3 failures and
+// stays open for a positive window.
+func TestCircuitBreakerDefaults(t *testing.T) {
+	cb := &CircuitBreaker{}
+	for i := 0; i < 3; i++ {
+		if !cb.Allow() {
+			t.Fatalf("zero-value breaker rejected poll %d while closed", i)
+		}
+		cb.Failure()
+	}
+	if cb.State() != BreakerOpen || cb.Allow() {
+		t.Fatalf("after 3 failures: state %v, want open", cb.State())
+	}
+}

@@ -83,10 +83,17 @@ func (r *RTU) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("scada: rtu listen: %w", err)
 	}
+	return r.Serve(l), nil
+}
+
+// Serve starts serving on an existing listener (ownership transfers to the
+// RTU, which closes it on Close) and returns its address. It exists so a
+// fault-injecting listener wrapper can be interposed.
+func (r *RTU) Serve(l net.Listener) string {
 	r.listener = l
 	r.wg.Add(1)
 	go r.serve()
-	return l.Addr().String(), nil
+	return l.Addr().String()
 }
 
 func (r *RTU) serve() {

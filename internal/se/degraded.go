@@ -1,0 +1,235 @@
+package se
+
+import (
+	"sort"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/linalg"
+	"gridattack/internal/measure"
+)
+
+// EstimatePartial runs WLS estimation tolerating an incomplete measurement
+// set — the degraded-mode entry point for a control center whose RTUs are
+// failing. The escalation ladder is:
+//
+//  1. Nothing missing: delegate to Estimate (not degraded).
+//  2. The surviving measurements alone keep the system observable: solve
+//     with exactly those (degraded, no pseudo-measurements).
+//  3. Otherwise, if lastGood is non-nil, substitute pseudo-measurements
+//     from it for the missing entries, down-weighted by
+//     PseudoWeightFactor, and solve the full system.
+//  4. Otherwise, solve the observable island around the reference bus —
+//     the largest bus set connected by lines with surviving flow
+//     telemetry — and report angles outside it as unknown (zero).
+//  5. Failing all of those, return ErrUnobservable.
+func (e *Estimator) EstimatePartial(t grid.Topology, z, lastGood *measure.Vector) (*Result, error) {
+	h, idx, err := e.estimationMatrix(t)
+	if err != nil {
+		return nil, err
+	}
+	var missing []int
+	var rows [][]float64
+	var pidx []int
+	var pzv, pw []float64
+	for k, i := range idx {
+		if !z.Present[i] {
+			missing = append(missing, i)
+			continue
+		}
+		rows = append(rows, h.Row(k))
+		pidx = append(pidx, i)
+		pzv = append(pzv, z.Values[i])
+		pw = append(pw, e.weightOf(i))
+	}
+	if len(missing) == 0 {
+		return e.Estimate(t, z)
+	}
+	n := e.grid.NumBuses() - 1
+
+	// 2. Survivors alone.
+	if len(rows) >= n {
+		hp, err := linalg.NewMatrixFromRows(rows)
+		if err != nil {
+			return nil, err
+		}
+		if hp.Rank(0) >= n {
+			res, err := e.solveWLS(t, hp, pidx, pzv, pw, e.stateBuses())
+			if err != nil {
+				return nil, err
+			}
+			res.Degraded = true
+			res.Missing = missing
+			return res, nil
+		}
+	}
+
+	// 3. Pseudo-measurements from the last good snapshot.
+	if lastGood != nil {
+		factor := e.PseudoWeightFactor
+		if factor <= 0 {
+			factor = 0.01
+		}
+		arows := append([][]float64(nil), rows...)
+		aidx := append([]int(nil), pidx...)
+		azv := append([]float64(nil), pzv...)
+		aw := append([]float64(nil), pw...)
+		var pseudo []int
+		for k, i := range idx {
+			if z.Present[i] || !lastGood.Present[i] {
+				continue
+			}
+			arows = append(arows, h.Row(k))
+			aidx = append(aidx, i)
+			azv = append(azv, lastGood.Values[i])
+			aw = append(aw, e.weightOf(i)*factor)
+			pseudo = append(pseudo, i)
+		}
+		if len(pseudo) > 0 && len(arows) >= n {
+			ha, err := linalg.NewMatrixFromRows(arows)
+			if err != nil {
+				return nil, err
+			}
+			if ha.Rank(0) >= n {
+				res, err := e.solveWLS(t, ha, aidx, azv, aw, e.stateBuses())
+				if err != nil {
+					return nil, err
+				}
+				res.Degraded = true
+				res.Missing = missing
+				res.Pseudo = pseudo
+				return res, nil
+			}
+		}
+	}
+
+	// 4. Observable island around the reference bus.
+	if res, ok := e.islandSolve(t, rows, pidx, pzv, pw); ok {
+		res.Degraded = true
+		res.Missing = missing
+		return res, nil
+	}
+	return nil, ErrUnobservable
+}
+
+// ObservableWith reports whether the measurements present in z keep the
+// system observable under topology t.
+func (e *Estimator) ObservableWith(t grid.Topology, z *measure.Vector) (bool, error) {
+	h, idx, err := e.estimationMatrix(t)
+	if err != nil {
+		return false, err
+	}
+	var rows [][]float64
+	for k, i := range idx {
+		if z.Present[i] {
+			rows = append(rows, h.Row(k))
+		}
+	}
+	n := e.grid.NumBuses() - 1
+	if len(rows) < n {
+		return false, nil
+	}
+	hp, err := linalg.NewMatrixFromRows(rows)
+	if err != nil {
+		return false, err
+	}
+	return hp.Rank(0) >= n, nil
+}
+
+// islandSolve attempts a reduced WLS solve over the observable island: the
+// connected component of the reference bus through topology lines that
+// still have flow telemetry. Only measurement rows whose support lies
+// entirely inside the island are usable. Returns ok=false when the island
+// is trivial, covers the whole system (then the full-rank check already
+// failed), or is itself rank-deficient.
+func (e *Estimator) islandSolve(t grid.Topology, rows [][]float64, pidx []int, pzv, pw []float64) (*Result, bool) {
+	surviving := make(map[int]bool, len(pidx))
+	for _, i := range pidx {
+		surviving[i] = true
+	}
+	// Flood-fill from the reference bus over observed lines.
+	island := map[int]bool{e.grid.RefBus: true}
+	for changed := true; changed; {
+		changed = false
+		for _, ln := range e.grid.Lines {
+			if !t.Contains(ln.ID) {
+				continue
+			}
+			if !surviving[e.plan.ForwardIndex(ln.ID)] && !surviving[e.plan.BackwardIndex(ln.ID)] {
+				continue
+			}
+			if island[ln.From] != island[ln.To] {
+				island[ln.From], island[ln.To] = true, true
+				changed = true
+			}
+		}
+	}
+	if len(island) <= 1 || len(island) >= e.grid.NumBuses() {
+		return nil, false
+	}
+
+	// Column selection: island states, in reduced-matrix column order.
+	all := e.stateBuses()
+	colOf := make(map[int]int, len(all)) // bus -> column in the full matrix
+	var stateBuses []int
+	var cols []int
+	for c, bus := range all {
+		colOf[bus] = c
+		if island[bus] {
+			stateBuses = append(stateBuses, bus)
+			cols = append(cols, c)
+		}
+	}
+	if len(stateBuses) == 0 {
+		return nil, false
+	}
+
+	// Row selection: support entirely inside the island's columns.
+	inIsland := make([]bool, len(all))
+	for _, c := range cols {
+		inIsland[c] = true
+	}
+	var irows [][]float64
+	var iidx []int
+	var izv, iw []float64
+	for k, row := range rows {
+		ok := true
+		for c, v := range row {
+			if v != 0 && !inIsland[c] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		sub := make([]float64, len(cols))
+		for j, c := range cols {
+			sub[j] = row[c]
+		}
+		irows = append(irows, sub)
+		iidx = append(iidx, pidx[k])
+		izv = append(izv, pzv[k])
+		iw = append(iw, pw[k])
+	}
+	if len(irows) < len(stateBuses) {
+		return nil, false
+	}
+	hi, err := linalg.NewMatrixFromRows(irows)
+	if err != nil {
+		return nil, false
+	}
+	if hi.Rank(0) < len(stateBuses) {
+		return nil, false
+	}
+	res, err := e.solveWLS(t, hi, iidx, izv, iw, stateBuses)
+	if err != nil {
+		return nil, false
+	}
+	buses := make([]int, 0, len(island))
+	for bus := range island {
+		buses = append(buses, bus)
+	}
+	sort.Ints(buses)
+	res.IslandBuses = buses
+	return res, true
+}

@@ -36,6 +36,12 @@ type Estimator struct {
 	// chi-square test at 95% confidence with m-n degrees of freedom is used
 	// instead.
 	Threshold float64
+
+	// PseudoWeightFactor scales down the weight of pseudo-measurements
+	// substituted from the last good snapshot in degraded mode, so stale
+	// values anchor observability without drowning out live telemetry.
+	// 0 selects 0.01.
+	PseudoWeightFactor float64
 }
 
 // NewEstimator returns an estimator for the grid and plan.
@@ -73,6 +79,18 @@ type Result struct {
 	// (1-based measurement number) and its normalized residual magnitude.
 	SuspectMeasurement int
 	SuspectResidual    float64
+
+	// Degraded-mode annotations (EstimatePartial). Degraded is set whenever
+	// the estimate was produced from an incomplete measurement set. Missing
+	// lists the plan-taken measurements absent from the telemetry. Pseudo
+	// lists the measurements whose values were substituted from the last
+	// good snapshot. IslandBuses, when non-nil, lists the buses actually
+	// estimated: angles (and derived flows/loads) outside the island are
+	// reported as zero and must be treated as unknown.
+	Degraded    bool
+	Missing     []int
+	Pseudo      []int
+	IslandBuses []int
 }
 
 // estimationMatrix builds the reduced measurement matrix restricted to taken
@@ -107,8 +125,29 @@ func (e *Estimator) estimationMatrix(t grid.Topology) (*linalg.Matrix, []int, er
 	return h, idx, nil
 }
 
+// weightOf returns the configured weight of measurement i (default 1).
+func (e *Estimator) weightOf(i int) float64 {
+	if e.Weights != nil && i < len(e.Weights) && e.Weights[i] > 0 {
+		return e.Weights[i]
+	}
+	return 1
+}
+
+// stateBuses returns the non-reference bus IDs in the column order of the
+// reduced measurement matrix.
+func (e *Estimator) stateBuses() []int {
+	out := make([]int, 0, e.grid.NumBuses()-1)
+	for _, bus := range e.grid.Buses {
+		if bus.ID != e.grid.RefBus {
+			out = append(out, bus.ID)
+		}
+	}
+	return out
+}
+
 // Estimate runs WLS estimation of the state from the measurement vector z
-// under the mapped topology t.
+// under the mapped topology t. Every plan-taken measurement must be present
+// in z; use EstimatePartial for degraded telemetry.
 func (e *Estimator) Estimate(t grid.Topology, z *measure.Vector) (*Result, error) {
 	h, idx, err := e.estimationMatrix(t)
 	if err != nil {
@@ -128,11 +167,17 @@ func (e *Estimator) Estimate(t grid.Topology, z *measure.Vector) (*Result, error
 			return nil, fmt.Errorf("se: measurement %d is in the plan but absent from z", i)
 		}
 		zv[k] = z.Values[i]
-		w[k] = 1
-		if e.Weights != nil && i < len(e.Weights) && e.Weights[i] > 0 {
-			w[k] = e.Weights[i]
-		}
+		w[k] = e.weightOf(i)
 	}
+	return e.solveWLS(t, h, idx, zv, w, e.stateBuses())
+}
+
+// solveWLS solves one (possibly restricted) WLS instance: h is the
+// measurement matrix over the states of stateBuses (column k is bus
+// stateBuses[k]), idx/zv/w the measurement numbers, values, and weights of
+// its rows. Angles of buses outside stateBuses are reported as zero.
+func (e *Estimator) solveWLS(t grid.Topology, h *linalg.Matrix, idx []int, zv, w []float64, stateBuses []int) (*Result, error) {
+	n := len(stateBuses)
 
 	// Normal equations: (H^T W H) x = H^T W z.
 	ht := h.Transpose()
@@ -159,15 +204,10 @@ func (e *Estimator) Estimate(t grid.Topology, z *measure.Vector) (*Result, error
 		return nil, fmt.Errorf("se: gain matrix solve: %w", err)
 	}
 
-	// Expand to full theta (insert reference bus zero).
+	// Expand to full theta (reference bus and unestimated buses at zero).
 	theta := make([]float64, e.grid.NumBuses())
-	ri := 0
-	for _, bus := range e.grid.Buses {
-		if bus.ID == e.grid.RefBus {
-			continue
-		}
-		theta[bus.ID-1] = xr[ri]
-		ri++
+	for k, bus := range stateBuses {
+		theta[bus-1] = xr[k]
 	}
 
 	// Residual and estimated measurements.

@@ -1,0 +1,48 @@
+package textio
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary input text must never panic the case parser, and
+// every accepted instance must survive a Write/Parse round trip with its
+// dimensions intact.
+func FuzzParse(f *testing.F) {
+	for _, name := range []string{
+		"../../testdata/case_study_1.txt",
+		"../../testdata/case_study_2.txt",
+	} {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			f.Fatalf("seed corpus %s: %v", name, err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("")
+	f.Add("# Topology\n1 2 3 0.5 0.1 1 1 0 0 1\n")
+	f.Add("# Resource limitation (measurements, buses)\n3 2\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		in, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatalf("Write of accepted instance failed: %v", err)
+		}
+		in2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse of written instance failed: %v\n%s", err, buf.String())
+		}
+		if in2.Grid.NumBuses() != in.Grid.NumBuses() || in2.Grid.NumLines() != in.Grid.NumLines() {
+			t.Fatalf("round trip changed dimensions: %dx%d -> %dx%d",
+				in.Grid.NumBuses(), in.Grid.NumLines(), in2.Grid.NumBuses(), in2.Grid.NumLines())
+		}
+		if in2.Plan.M() != in.Plan.M() {
+			t.Fatalf("round trip changed plan size: %d -> %d", in.Plan.M(), in2.Plan.M())
+		}
+	})
+}
