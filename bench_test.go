@@ -482,6 +482,25 @@ func BenchmarkStateEstimation118(b *testing.B) {
 	}
 }
 
+// BenchmarkCertificationOverhead measures the cost of checker-validated
+// verdicts on the find–verify loop (cmd/benchreport -fig cert prints the
+// same comparison as a plain-vs-certified table).
+func BenchmarkCertificationOverhead(b *testing.B) {
+	for _, name := range []string{"ieee14", "synth30", "synth57"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunCertificationOverhead([]string{name}, benchConflictBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					b.ReportMetric(r.Overhead(), "certified/plain")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSMTSolverRandom3SAT measures the CDCL core on a fixed satisfiable
 // random 3-SAT instance.
 func BenchmarkSMTSolverRandom3SAT(b *testing.B) {

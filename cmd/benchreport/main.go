@@ -34,7 +34,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, or par")
+		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, or cert")
 		all          = fs.Bool("all", false, "run every artifact")
 		caseList     = fs.String("cases", "", "comma-separated case subset (default: all five systems)")
 		maxConflicts = fs.Int64("max-conflicts", 2_000_000, "SMT conflict budget per query (0 = unlimited)")
@@ -48,7 +48,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	artifacts := []string{*fig}
 	if *all {
-		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par"}
+		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert"}
 	}
 	for _, a := range artifacts {
 		if a == "" {
@@ -187,8 +187,23 @@ func runOne(w io.Writer, artifact string, names []string, maxConflicts int64) er
 		tw.Flush()
 		fmt.Fprintln(w)
 
+	case "cert":
+		rows, err := experiments.RunCertificationOverhead(names, maxConflicts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Certification overhead: find-verify loop with checker-validated verdicts")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "case\tbuses\titers\tplain\tcertified\toverhead")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%.2fx\n",
+				r.Case, r.Buses, r.Iters, r.Plain.Round(1e5), r.Certified.Round(1e5), r.Overhead())
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+
 	default:
-		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par)", artifact)
+		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert)", artifact)
 	}
 	return nil
 }

@@ -7,6 +7,15 @@
 //
 //	opfattack -input case.txt [-output result.txt] [-states] [-target 3]
 //	          [-verify lp|smt|shift] [-max-iter 200] [-parallel 0]
+//	          [-certify] [-budget conflicts=N,pivots=N,time=DUR]
+//	          [-checkpoint run.journal]
+//
+// With -checkpoint, every completed find–verify iteration is journaled
+// (fsync'd, hash-chained) to the given file; re-running the same command
+// after a crash or kill resumes at the first incomplete iteration and
+// produces the same result as an uninterrupted run. With -budget, a run
+// that exhausts its solver budget exits nonzero; re-running with a larger
+// budget (and the same -checkpoint) continues where it stopped.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gridattack"
 )
@@ -39,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		maxIter    = fs.Int("max-iter", 200, "maximum attack vectors to examine")
 		operating  = fs.String("operating", "", "pre-attack generation dispatch as comma-separated per-bus values (default: the OPF optimum)")
 		parallel   = fs.Int("parallel", 0, "worker goroutines for the analysis: 0 = all CPUs, 1 = sequential; verdicts are identical at every setting")
+		certify    = fs.Bool("certify", false, "check an independent certificate for every SMT verdict before trusting it")
+		budget     = fs.String("budget", "", "per-query solver budget as key=value pairs: conflicts=N, pivots=N, time=DURATION (e.g. conflicts=500000,time=30s)")
+		checkpoint = fs.String("checkpoint", "", "journal file for crash-resumable analysis; rerunning the same configuration resumes where the previous run stopped")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +76,17 @@ func run(args []string, stdout io.Writer) error {
 		TargetIncreasePercent: in.MinIncreasePercent,
 		MaxIterations:         *maxIter,
 		Parallelism:           *parallel,
+		Certify:               *certify,
+		CheckpointPath:        *checkpoint,
+	}
+	if *budget != "" {
+		conflicts, pivots, timeout, err := parseBudget(*budget)
+		if err != nil {
+			return err
+		}
+		analyzer.MaxConflicts = conflicts
+		analyzer.MaxPivots = pivots
+		analyzer.QueryTimeout = timeout
 	}
 	analyzer.Capability.States = *states
 	if *target > 0 {
@@ -91,6 +115,13 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if rep.ResumedIterations > 0 {
+		fmt.Fprintf(stdout, "resumed %d journaled iteration(s) from %s\n", rep.ResumedIterations, *checkpoint)
+	}
+	if rep.Canceled {
+		fmt.Fprintf(stdout, "examined %d attack vector(s) before the solver budget ran out\n", rep.Iterations)
+		return errors.New("solver budget exhausted before a verdict; re-run with a larger -budget (with -checkpoint the analysis resumes where it stopped)")
+	}
 
 	out := stdout
 	if *outputPath != "" {
@@ -107,6 +138,43 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "examined %d attack vector(s) in %v (attack search %v, OPF verification %v)\n",
 		rep.Iterations, rep.Elapsed.Round(1e6), rep.AttackSearchTime.Round(1e6), rep.VerifyTime.Round(1e6))
 	return nil
+}
+
+// parseBudget parses the -budget flag: comma-separated key=value pairs with
+// keys conflicts (SAT conflicts per query), pivots (simplex pivots per
+// query), and time (wall clock per query, Go duration syntax).
+func parseBudget(s string) (conflicts, pivots int64, timeout time.Duration, err error) {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("-budget: %q is not key=value", part)
+		}
+		switch key {
+		case "conflicts", "pivots":
+			n, perr := strconv.ParseInt(val, 10, 64)
+			if perr != nil || n < 0 {
+				return 0, 0, 0, fmt.Errorf("-budget: %s needs a non-negative integer, got %q", key, val)
+			}
+			if key == "conflicts" {
+				conflicts = n
+			} else {
+				pivots = n
+			}
+		case "time":
+			d, perr := time.ParseDuration(val)
+			if perr != nil || d < 0 {
+				return 0, 0, 0, fmt.Errorf("-budget: time needs a duration like 30s, got %q", val)
+			}
+			timeout = d
+		default:
+			return 0, 0, 0, fmt.Errorf("-budget: unknown key %q (want conflicts, pivots, or time)", key)
+		}
+	}
+	return conflicts, pivots, timeout, nil
 }
 
 func parseDispatch(s string, buses int) ([]float64, error) {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"gridattack"
 )
@@ -74,6 +75,42 @@ func TestRunVerifyModes(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-input", path, "-verify", "bogus"}, &out); err == nil {
 		t.Error("want error for bad verify mode")
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	conflicts, pivots, timeout, err := parseBudget("conflicts=100, pivots=5, time=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicts != 100 || pivots != 5 || timeout != 30*time.Second {
+		t.Fatalf("parseBudget = %d, %d, %v", conflicts, pivots, timeout)
+	}
+	for _, bad := range []string{"conflicts", "conflicts=x", "conflicts=-1", "frobs=1", "time=abc", "time=-1s"} {
+		if _, _, _, err := parseBudget(bad); err == nil {
+			t.Errorf("parseBudget(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunCertified(t *testing.T) {
+	path := writeCaseStudy1Input(t)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-operating", "0.47,0.11,0.25,0,0", "-verify", "smt", "-certify"}, &out)
+	if err != nil {
+		t.Fatalf("run -certify: %v", err)
+	}
+	if !strings.Contains(out.String(), "result: sat") {
+		t.Errorf("certified run lost the verdict:\n%s", out.String())
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	path := writeCaseStudy1Input(t)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-operating", "0.47,0.11,0.25,0,0", "-budget", "time=1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("run with 1ns budget: err=%v, want budget-exhausted error", err)
 	}
 }
 

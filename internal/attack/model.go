@@ -41,6 +41,12 @@ type Model struct {
 	MaxConflicts int64
 	// MaxDuration bounds per-FindVector wall-clock time (0 = unlimited).
 	MaxDuration time.Duration
+	// MaxPivots bounds simplex pivots per FindVector call (0 = unlimited).
+	MaxPivots int64
+	// Certify makes every FindVector verdict carry a checked certificate
+	// (smt.Solver.Certify); it can only be enabled, never disabled, so a
+	// process-wide certification default is preserved.
+	Certify bool
 }
 
 // NewModel builds and asserts the attack constraint system. pf is the
@@ -332,6 +338,10 @@ func (m *Model) FindVector() (*Vector, error) {
 func (m *Model) FindVectorPortfolio(ctx context.Context, n int) (*Vector, error) {
 	m.solver.MaxConflicts = m.MaxConflicts
 	m.solver.MaxDuration = m.MaxDuration
+	m.solver.MaxPivots = m.MaxPivots
+	if m.Certify {
+		m.solver.Certify = true
+	}
 	res, err := m.solver.CheckPortfolioStable(ctx, n)
 	if err != nil {
 		return nil, fmt.Errorf("attack: solver: %w", err)

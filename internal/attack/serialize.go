@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"encoding/json"
+
+	"gridattack/internal/grid"
+)
+
+// vectorJSON is the wire form of Vector: the same fields, with the mapped
+// topology flattened to its sorted closed-line list so the round trip does
+// not depend on map iteration order. Float fields round-trip exactly:
+// encoding/json emits the shortest decimal that parses back to the same
+// float64, which is what lets a resumed analysis reproduce journaled vectors
+// bit for bit.
+type vectorJSON struct {
+	ExcludedLines       []int     `json:"excluded_lines,omitempty"`
+	IncludedLines       []int     `json:"included_lines,omitempty"`
+	AlteredMeasurements []int     `json:"altered_measurements,omitempty"`
+	CompromisedBuses    []int     `json:"compromised_buses,omitempty"`
+	InfectedStates      []int     `json:"infected_states,omitempty"`
+	DeltaTheta          []float64 `json:"delta_theta,omitempty"`
+	DeltaFlow           []float64 `json:"delta_flow,omitempty"`
+	DeltaConsumption    []float64 `json:"delta_consumption,omitempty"`
+	ObservedLoads       []float64 `json:"observed_loads,omitempty"`
+	MappedTopologyLines []int     `json:"mapped_topology_lines,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v *Vector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(vectorJSON{
+		ExcludedLines:       v.ExcludedLines,
+		IncludedLines:       v.IncludedLines,
+		AlteredMeasurements: v.AlteredMeasurements,
+		CompromisedBuses:    v.CompromisedBuses,
+		InfectedStates:      v.InfectedStates,
+		DeltaTheta:          v.DeltaTheta,
+		DeltaFlow:           v.DeltaFlow,
+		DeltaConsumption:    v.DeltaConsumption,
+		ObservedLoads:       v.ObservedLoads,
+		MappedTopologyLines: v.MappedTopology.Lines(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var w vectorJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*v = Vector{
+		ExcludedLines:       w.ExcludedLines,
+		IncludedLines:       w.IncludedLines,
+		AlteredMeasurements: w.AlteredMeasurements,
+		CompromisedBuses:    w.CompromisedBuses,
+		InfectedStates:      w.InfectedStates,
+		DeltaTheta:          w.DeltaTheta,
+		DeltaFlow:           w.DeltaFlow,
+		DeltaConsumption:    w.DeltaConsumption,
+		ObservedLoads:       w.ObservedLoads,
+		MappedTopology:      grid.NewTopology(w.MappedTopologyLines),
+	}
+	return nil
+}

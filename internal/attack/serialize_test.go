@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+// TestVectorJSONRoundTrip requires Marshal→Unmarshal to reproduce the vector
+// exactly, including floats with no short decimal form: encoding/json writes
+// the shortest representation that parses back to the identical float64, which
+// is what makes checkpointed verdicts bit-identical across a crash.
+func TestVectorJSONRoundTrip(t *testing.T) {
+	v := &Vector{
+		ExcludedLines:       []int{6},
+		IncludedLines:       []int{3},
+		AlteredMeasurements: []int{6, 13, 17, 18},
+		CompromisedBuses:    []int{2, 4},
+		DeltaFlow:           []float64{0, 0.1 + 0.2, -1.0 / 3.0, math.Nextafter(1, 2), 5e-324},
+		DeltaConsumption:    []float64{0.1, -0.2, 0, 0, 0.1},
+		ObservedLoads:       []float64{1.1, 0.8, 0, 0, 2.3},
+		DeltaTheta:          []float64{0, 1e-17, 0, 0, 0},
+		MappedTopology:      grid.NewTopology([]int{1, 2, 4, 5, 7}),
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Vector
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, v) {
+		t.Fatalf("round trip changed the vector:\n got %+v\nwant %+v", &got, v)
+	}
+	// A second marshal must be byte-identical (the comparison the journal
+	// replay relies on).
+	data2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-marshal differs:\n %s\n %s", data, data2)
+	}
+}
+
+// TestVectorJSONEmpty covers a vector with nil slices and topology. The zero
+// topology holds a nil map while the decoded one holds an empty map, so the
+// comparison is on the wire form, which is what journal replay compares too.
+func TestVectorJSONEmpty(t *testing.T) {
+	v := &Vector{}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Vector
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("empty round trip changed the wire form:\n %s\n %s", data, data2)
+	}
+	if got.MappedTopology.Size() != 0 || len(got.ExcludedLines) != 0 {
+		t.Fatalf("empty round trip grew content: %+v", &got)
+	}
+}

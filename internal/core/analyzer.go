@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -97,6 +98,24 @@ type Analyzer struct {
 	// the vector itself) are identical at every setting; only wall-clock
 	// time changes. See DESIGN.md, "Parallel impact analysis".
 	Parallelism int
+
+	// MaxPivots bounds simplex pivots per SMT query (0 = unlimited); like
+	// MaxConflicts, an exceeded budget marks the report Canceled.
+	MaxPivots int64
+
+	// Certify makes every SMT verdict in the analysis carry a certificate
+	// that is independently checked before the verdict is trusted (see
+	// DESIGN.md, "Trust model"). Certification can also be enabled
+	// process-wide with the GRIDATTACK_CERTIFY environment variable.
+	Certify bool
+
+	// CheckpointPath enables crash-resumable analysis: every completed
+	// find–verify iteration is appended (fsync'd, hash-chained) to this
+	// journal file. Re-running with the same configuration and path replays
+	// the journal — reusing the recorded verification verdicts — and resumes
+	// at the first incomplete iteration, producing verdicts identical to an
+	// uninterrupted run. Empty disables checkpointing.
+	CheckpointPath string
 }
 
 // Report is the outcome of one analysis run.
@@ -109,6 +128,9 @@ type Report struct {
 	Vector       *attack.Vector // the successful attack, when Found
 	AttackedCost float64        // operator's OPF cost under the attack, when Found (0 under VerifySMT certification)
 	Iterations   int            // attack vectors examined
+	// ResumedIterations counts the iterations whose verification verdict was
+	// replayed from a checkpoint journal rather than recomputed.
+	ResumedIterations int
 
 	AttackSearchTime time.Duration // cumulative attack-model solving time
 	VerifyTime       time.Duration // cumulative OPF verification time
@@ -151,6 +173,8 @@ func (a *Analyzer) Run() (*Report, error) {
 	}
 	model.MaxConflicts = a.MaxConflicts
 	model.MaxDuration = a.QueryTimeout
+	model.MaxPivots = a.MaxPivots
+	model.Certify = a.Certify
 
 	var fac *dist.Factors
 	if a.Verify == VerifyShift {
@@ -166,9 +190,36 @@ func (a *Analyzer) Run() (*Report, error) {
 	}
 
 	rep := &Report{BaselineCost: base.Cost, Threshold: threshold}
-	if par > 1 {
-		if err := a.runPipelined(rep, model, fac, threshold, maxIter, par); err != nil {
+
+	var jr *Journal
+	if a.CheckpointPath != "" {
+		cfg := a.journalConfig(base.Cost, threshold, maxIter)
+		var recs []JournalRecord
+		var done bool
+		jr, recs, done, err = a.openCheckpoint(cfg, rep)
+		if err != nil {
 			return nil, err
+		}
+		if jr != nil {
+			defer jr.Close()
+		}
+		if !done && len(recs) > 0 {
+			done, err = a.replayCheckpoint(rep, model, jr, recs, maxIter)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if done {
+			rep.Elapsed = time.Since(start)
+			return rep, nil
+		}
+	}
+
+	if par > 1 {
+		if rep.Iterations < maxIter {
+			if err := a.runPipelined(rep, model, fac, threshold, maxIter, par, jr); err != nil {
+				return nil, err
+			}
 		}
 		rep.Elapsed = time.Since(start)
 		return rep, nil
@@ -187,6 +238,11 @@ func (a *Analyzer) Run() (*Report, error) {
 		}
 		if v == nil {
 			rep.Exhausted = true
+			if jr != nil {
+				if err := jr.AppendFinal(false, true, nil, 0); err != nil {
+					return nil, err
+				}
+			}
 			break
 		}
 		rep.Iterations++
@@ -201,16 +257,131 @@ func (a *Analyzer) Run() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if jr != nil {
+			if err := jr.AppendIter(rep.Iterations, v, cost, reached); err != nil {
+				return nil, err
+			}
+		}
 		if reached {
 			rep.Found = true
 			rep.Vector = v
 			rep.AttackedCost = cost
+			if jr != nil {
+				if err := jr.AppendFinal(true, false, v, cost); err != nil {
+					return nil, err
+				}
+			}
 			break
 		}
 		model.Block(v, a.BlockPrecision)
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// journalConfig builds the configuration fingerprint stored in (and checked
+// against) a checkpoint journal's header.
+func (a *Analyzer) journalConfig(baseline, threshold float64, maxIter int) JournalConfig {
+	mode := a.Verify
+	if mode == 0 {
+		mode = VerifyLP
+	}
+	return JournalConfig{
+		Buses:                 a.Grid.NumBuses(),
+		Lines:                 a.Grid.NumLines(),
+		BaselineCost:          baseline,
+		Threshold:             threshold,
+		TargetPercent:         a.TargetIncreasePercent,
+		MaxIterations:         maxIter,
+		VerifyMode:            int(mode),
+		BlockPrecision:        a.BlockPrecision,
+		MaxMeasurements:       a.Capability.MaxMeasurements,
+		MaxBuses:              a.Capability.MaxBuses,
+		States:                a.Capability.States,
+		RequireTopologyChange: a.Capability.RequireTopologyChange,
+	}
+}
+
+// openCheckpoint opens or creates the journal at a.CheckpointPath. It
+// returns the journal positioned for appending, the iteration records to
+// replay, and done=true when the journal already holds the final verdict
+// (in which case rep carries the reconstructed outcome and no journal is
+// returned).
+func (a *Analyzer) openCheckpoint(cfg JournalConfig, rep *Report) (*Journal, []JournalRecord, bool, error) {
+	st, err := os.Stat(a.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() == 0) {
+		j, err := CreateJournal(a.CheckpointPath, cfg)
+		return j, nil, false, err
+	}
+	if err != nil {
+		return nil, nil, false, err
+	}
+	j, have, recs, err := OpenJournal(a.CheckpointPath)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if *have != cfg {
+		j.Close()
+		return nil, nil, false, fmt.Errorf("%w: %s was written by a different analysis configuration", ErrJournal, a.CheckpointPath)
+	}
+	if n := len(recs); n > 0 && recs[n-1].Kind == recFinal {
+		// Fully finalized run: reconstruct the verdict without re-solving.
+		fin := recs[n-1]
+		for _, r := range recs {
+			if r.Kind == recIter {
+				rep.Iterations++
+				rep.ResumedIterations++
+			}
+		}
+		rep.Found = fin.Found
+		rep.Exhausted = fin.Exhausted
+		rep.Vector = fin.Vector
+		rep.AttackedCost = fin.AttackedCost
+		j.Close()
+		return nil, nil, true, nil
+	}
+	return j, recs, false, nil
+}
+
+// replayCheckpoint re-runs the journaled iterations. The candidate searches
+// are recomputed — the solver's learned clauses and heuristic state are what
+// make the candidate sequence deterministic, so that state must be rebuilt —
+// but the journaled verification verdicts are reused, skipping the OPF work.
+// Each regenerated candidate must match the journal exactly; a mismatch
+// means the journal belongs to a different problem. Returns done=true when
+// the replay reached a definitive verdict.
+func (a *Analyzer) replayCheckpoint(rep *Report, model *attack.Model, jr *Journal, recs []JournalRecord, maxIter int) (bool, error) {
+	for _, rec := range recs {
+		if rec.Kind != recIter {
+			return true, fmt.Errorf("%w: unexpected %q record during replay", ErrJournal, rec.Kind)
+		}
+		if rep.Iterations >= maxIter {
+			return true, fmt.Errorf("%w: journal holds more iterations than the configured maximum", ErrJournal)
+		}
+		t0 := time.Now()
+		v, err := model.FindVector()
+		rep.AttackSearchTime += time.Since(t0)
+		if errors.Is(err, smt.ErrCanceled) {
+			rep.Canceled = true
+			return true, nil
+		}
+		if err != nil {
+			return true, err
+		}
+		if v == nil || !vectorsEqual(v, rec.Vector) {
+			return true, fmt.Errorf("%w: iteration %d regenerated a different candidate than the journal records (was the input changed?)", ErrJournal, rec.Iter)
+		}
+		rep.Iterations++
+		rep.ResumedIterations++
+		if rec.Reached {
+			rep.Found = true
+			rep.Vector = v
+			rep.AttackedCost = rec.Cost
+			return true, jr.AppendFinal(true, false, v, rec.Cost)
+		}
+		model.Block(v, a.BlockPrecision)
+	}
+	return false, nil
 }
 
 // runPipelined executes the Fig. 2 loop with the speculative find–verify
@@ -224,7 +395,7 @@ func (a *Analyzer) Run() (*Report, error) {
 // The verification runs a stable solver portfolio of width par-1, the
 // speculative search a sequential solver — together they occupy the par
 // workers the caller granted.
-func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, threshold float64, maxIter, par int) error {
+func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, threshold float64, maxIter, par int, jr *Journal) error {
 	type verifyResult struct {
 		cost    float64
 		reached bool
@@ -254,6 +425,9 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 	for {
 		if v == nil {
 			rep.Exhausted = true
+			if jr != nil {
+				return jr.AppendFinal(false, true, nil, 0)
+			}
 			return nil
 		}
 		rep.Iterations++
@@ -286,6 +460,17 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 
 		vr := <-vch
 		rep.VerifyTime += vr.elapsed
+		if vr.err == nil && jr != nil {
+			// The iteration is complete (candidate + verdict): journal it
+			// before acting on it, so a crash from here on resumes after it.
+			if jerr := jr.AppendIter(rep.Iterations, v, vr.cost, vr.reached); jerr != nil {
+				if cancelSpec != nil {
+					cancelSpec()
+					<-fch
+				}
+				return jerr
+			}
+		}
 		if vr.err != nil || vr.reached {
 			if cancelSpec != nil {
 				// Wrong speculation (or an error): interrupt the clone's
@@ -303,6 +488,9 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 			rep.Found = true
 			rep.Vector = v
 			rep.AttackedCost = vr.cost
+			if jr != nil {
+				return jr.AppendFinal(true, false, v, vr.cost)
+			}
 			return nil
 		}
 		if cancelSpec == nil {
@@ -362,6 +550,8 @@ func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Facto
 			return 0, false, err
 		}
 		fm.Parallelism = par
+		fm.MaxPivots = a.MaxPivots
+		fm.Certify = a.Certify
 		// Eq. 38: OPF must converge for a generous budget...
 		converges, err := fm.CheckCostBelow(ctx, threshold*10)
 		if err != nil {

@@ -381,6 +381,80 @@ func RunParallelScaling(caseNames []string, levels []int, maxConflicts int64) ([
 	return rows, nil
 }
 
+// CertOverheadRow is one certification-overhead measurement: the same Fig. 2
+// find–verify analysis run with certification off and on. Certification adds
+// certificate construction on every SMT query plus an independent checker
+// pass (model replay for sat, RUP/Farkas trace validation for unsat) before
+// each verdict is trusted; the verdicts themselves must be identical.
+type CertOverheadRow struct {
+	Case      string
+	Buses     int
+	Iters     int
+	Plain     time.Duration
+	Certified time.Duration
+}
+
+// Overhead is the certified/plain wall-clock ratio.
+func (r CertOverheadRow) Overhead() float64 {
+	if r.Plain <= 0 {
+		return 0
+	}
+	return float64(r.Certified) / float64(r.Plain)
+}
+
+// RunCertificationOverhead measures what trusting only checker-validated
+// verdicts costs on the find–verify loop, under the SMT verification backend
+// so both the attack-model and the OPF-model queries are certified. It
+// errors if certification changes any verdict — the certified run must be
+// the same analysis, only slower.
+func RunCertificationOverhead(caseNames []string, maxConflicts int64) ([]CertOverheadRow, error) {
+	if len(caseNames) == 0 {
+		caseNames = []string{"ieee14", "synth30", "synth57"}
+	}
+	reg := cases.Registry()
+	var rows []CertOverheadRow
+	for _, name := range caseNames {
+		c, ok := reg[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown case %q", name)
+		}
+		// Seed 1 matches the scale smoke tests and yields a multi-iteration
+		// loop on every evaluation system, so the overhead number reflects
+		// real find-verify work rather than an instant exhaustion.
+		sc := core.NewScenario(c, core.ScenarioConfig{Seed: 1, States: true})
+		runOnce := func(certify bool) (*core.Report, error) {
+			a := sc.Analyzer(TargetPercent)
+			a.MaxIterations = MaxIterationsCap
+			a.MaxConflicts = maxConflicts
+			a.QueryTimeout = QueryTimeout
+			a.Verify = core.VerifySMT
+			a.Parallelism = 1
+			a.Certify = certify
+			return a.Run()
+		}
+		plain, err := runOnce(false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s plain run: %w", name, err)
+		}
+		cert, err := runOnce(true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s certified run: %w", name, err)
+		}
+		if plain.Found != cert.Found || plain.Exhausted != cert.Exhausted || plain.Iterations != cert.Iterations {
+			return nil, fmt.Errorf("experiments: %s certification changed the verdict (found=%v exhausted=%v iters=%d, want found=%v exhausted=%v iters=%d)",
+				name, cert.Found, cert.Exhausted, cert.Iterations, plain.Found, plain.Exhausted, plain.Iterations)
+		}
+		rows = append(rows, CertOverheadRow{
+			Case:      name,
+			Buses:     c.Grid.NumBuses(),
+			Iters:     plain.Iterations,
+			Plain:     plain.Elapsed,
+			Certified: cert.Elapsed,
+		})
+	}
+	return rows, nil
+}
+
 // operatingPoint solves the OPF-optimal operating point of a scenario's
 // grid (the state the attacker observes in the stand-alone model runs).
 func operatingPoint(sc core.Scenario) (*grid.PowerFlow, error) {

@@ -82,6 +82,23 @@ func TestRunMemorySmall(t *testing.T) {
 	}
 }
 
+func TestRunCertificationOverheadSmall(t *testing.T) {
+	rows, err := RunCertificationOverhead([]string{"ieee14"}, 0)
+	if err != nil {
+		t.Fatalf("RunCertificationOverhead: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Iters == 0 {
+		t.Error("overhead scenario did no find-verify iterations; the measurement is vacuous")
+	}
+	if r.Plain <= 0 || r.Certified <= 0 || r.Overhead() <= 0 {
+		t.Errorf("degenerate timings: %+v", r)
+	}
+}
+
 func TestAllocMB(t *testing.T) {
 	mb, err := allocMB(func() error {
 		_ = make([]byte, 8<<20)

@@ -15,6 +15,7 @@ package grid
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrInvalid reports a malformed grid description.
@@ -107,8 +108,14 @@ func (g *Grid) Validate() error {
 		if ln.From == ln.To {
 			return fmt.Errorf("%w: line %d is a self-loop at bus %d", ErrInvalid, ln.ID, ln.From)
 		}
+		// NaN passes every ordered comparison below, and non-finite values
+		// panic the exact-arithmetic solver core, so finiteness is checked
+		// explicitly first.
+		if !isFinite(ln.Admittance) || !isFinite(ln.Capacity) {
+			return fmt.Errorf("%w: line %d has non-finite admittance %v or capacity %v", ErrInvalid, ln.ID, ln.Admittance, ln.Capacity)
+		}
 		if ln.Admittance <= 0 {
-			return fmt.Errorf("%w: line %d has non-positive admittance %v", ErrInvalid, ln.ID, ln.Admittance)
+			return fmt.Errorf("%w: line %d has non-positive admittance %v (a zero-reactance or open branch is not a DC line)", ErrInvalid, ln.ID, ln.Admittance)
 		}
 		if ln.Capacity <= 0 {
 			return fmt.Errorf("%w: line %d has non-positive capacity %v", ErrInvalid, ln.ID, ln.Capacity)
@@ -118,6 +125,9 @@ func (g *Grid) Validate() error {
 		if gen.Bus < 1 || gen.Bus > b {
 			return fmt.Errorf("%w: generator at unknown bus %d", ErrInvalid, gen.Bus)
 		}
+		if !isFinite(gen.MinP) || !isFinite(gen.MaxP) || !isFinite(gen.Alpha) || !isFinite(gen.Beta) {
+			return fmt.Errorf("%w: generator at bus %d has a non-finite parameter", ErrInvalid, gen.Bus)
+		}
 		if gen.MinP > gen.MaxP {
 			return fmt.Errorf("%w: generator at bus %d has MinP %v > MaxP %v", ErrInvalid, gen.Bus, gen.MinP, gen.MaxP)
 		}
@@ -126,12 +136,17 @@ func (g *Grid) Validate() error {
 		if ld.Bus < 1 || ld.Bus > b {
 			return fmt.Errorf("%w: load at unknown bus %d", ErrInvalid, ld.Bus)
 		}
+		if !isFinite(ld.P) || !isFinite(ld.MinP) || !isFinite(ld.MaxP) {
+			return fmt.Errorf("%w: load at bus %d has a non-finite parameter", ErrInvalid, ld.Bus)
+		}
 		if ld.MinP > ld.MaxP {
 			return fmt.Errorf("%w: load at bus %d has MinP %v > MaxP %v", ErrInvalid, ld.Bus, ld.MinP, ld.MaxP)
 		}
 	}
 	return nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // GeneratorAt returns the generator connected at the bus, if any. The paper
 // assumes at most one generator per bus.

@@ -29,6 +29,12 @@ type FeasibilityModel struct {
 	// plain sequential Check. The stable portfolio is used, so answers (and
 	// the witnessing dispatch) are identical at every width.
 	Parallelism int
+
+	// MaxPivots bounds simplex pivots per query (0 = unlimited).
+	MaxPivots int64
+	// Certify makes every query verdict carry a checked certificate; like
+	// the solver flag it can only be enabled, never disabled.
+	Certify bool
 }
 
 // NewFeasibilityModel encodes the cap-independent OPF constraints for grid g
@@ -64,6 +70,10 @@ func (m *FeasibilityModel) CheckCostBelow(ctx context.Context, costCap float64) 
 		}
 		m.s.Assert(smt.AtomFloat(cost, smt.OpLE, costCap-m.alpha))
 		m.lastCap, m.hasCap = costCap, true
+	}
+	m.s.MaxPivots = m.MaxPivots
+	if m.Certify {
+		m.s.Certify = true
 	}
 	res, err := m.s.CheckPortfolioStable(ctx, m.Parallelism)
 	if err != nil {

@@ -27,10 +27,22 @@ func (s *Solver) Clone() *Solver {
 		theoryHead:   s.theoryHead,
 		MaxConflicts: s.MaxConflicts,
 		MaxDuration:  s.MaxDuration,
+		MaxPivots:    s.MaxPivots,
+		Certify:      s.Certify,
+		selfCheck:    s.selfCheck,
+		certSpoiled:  s.certSpoiled,
 		model:        s.model,
 		restartUnit:  s.restartUnit,
 		rngState:     s.rngState,
 		randFreq:     s.randFreq,
+		lastCert:     s.lastCert,
+		assertRecs:   append([]assertRecord(nil), s.assertRecs...),
+		premises:     append([][]literal(nil), s.premises...),
+		steps:        append([]proofStep(nil), s.steps...),
+		slackDefs:    make(map[int][]LinTerm, len(s.slackDefs)),
+	}
+	for v, def := range s.slackDefs {
+		cp.slackDefs[v] = def // defining terms are never mutated after creation
 	}
 	for v, info := range s.atoms {
 		cp.atoms[v] = &atomInfo{
@@ -63,6 +75,7 @@ func (c *satCore) clone() (*satCore, map[*clause]*clause) {
 		numVars:       c.numVars,
 		varInc:        c.varInc,
 		unsatisfiable: c.unsatisfiable,
+		interrupted:   c.interrupted,
 		qhead:         c.qhead,
 		decisions:     c.decisions,
 		conflicts:     c.conflicts,
@@ -117,6 +130,7 @@ func (s *simplex) clone() *simplex {
 	n.nVars = s.nVars
 	n.needCheck = s.needCheck
 	n.pivots = s.pivots
+	n.certify = s.certify
 	n.rows = make(map[int]map[int]*big.Rat, len(s.rows))
 	for b, row := range s.rows {
 		nr := make(map[int]*big.Rat, len(row))

@@ -262,6 +262,9 @@ func (s *Solver) inequalityLit(terms []LinTerm, op Op, rhs *big.Rat) literal {
 			slack = ca.terms[0].Var
 		} else {
 			slack = s.simp.addSlack(ca.terms)
+			// Record the defining form (over user variables only) so the
+			// certificate checker can expand slack occurrences away.
+			s.slackDefs[slack] = ca.terms
 		}
 		s.formSlacks[fk] = slack
 	}

@@ -1,0 +1,38 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that a Check stopped before reaching a verdict: the
+// caller canceled it (context / interrupt flag) or a resource budget ran out.
+// Budget exhaustion additionally matches ErrBudgetExceeded, so callers that
+// only care about "no verdict" keep using errors.Is(err, ErrCanceled) while
+// callers that distinguish deliberate cancellation from an exhausted budget
+// test errors.Is(err, ErrBudgetExceeded) first.
+var ErrCanceled = errors.New("smt: check canceled")
+
+// ErrBudgetExceeded reports that a per-Check resource budget (conflicts,
+// simplex pivots, or wall-clock deadline) was exhausted before a verdict.
+// Errors matching it also match ErrCanceled for backward compatibility.
+var ErrBudgetExceeded = errors.New("smt: resource budget exceeded")
+
+// budgetError is the concrete error returned when a specific budget trips.
+// It matches both ErrBudgetExceeded and ErrCanceled under errors.Is.
+type budgetError struct{ what string }
+
+func (e *budgetError) Error() string {
+	return fmt.Sprintf("smt: %s budget exceeded", e.what)
+}
+
+func (e *budgetError) Is(target error) bool {
+	return target == ErrBudgetExceeded || target == ErrCanceled
+}
+
+// The three budget dimensions of a Check call.
+var (
+	errConflictBudget = &budgetError{what: "conflict"}
+	errPivotBudget    = &budgetError{what: "pivot"}
+	errDeadlineBudget = &budgetError{what: "wall-clock"}
+)

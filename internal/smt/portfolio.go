@@ -2,9 +2,16 @@ package smt
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// testReplicaFault, when non-nil, is invoked with the replica index at the
+// start of every portfolio worker. Tests install a panicking hook here to
+// exercise the crash-isolation path.
+var testReplicaFault func(i int)
 
 // maxSharedClauseLen bounds the learned clauses migrated from losing
 // portfolio replicas back into the surviving solver: only short clauses
@@ -78,7 +85,20 @@ type portfolioOutcome struct {
 
 func (s *Solver) portfolio(ctx context.Context, n int, stable bool) (Result, error) {
 	if n <= 1 {
-		return s.CheckContext(ctx)
+		res, err := s.CheckContext(ctx)
+		// The portfolio entry points promise certified verdicts: at width 1
+		// there is no winner-selection step to do it, so check here (unless
+		// selfCheck already did inside Check).
+		if err == nil && s.Certify && !s.selfCheck {
+			cert := s.Certificate()
+			if cert == nil {
+				return 0, fmt.Errorf("smt: certified check produced no certificate")
+			}
+			if verr := cert.Verify(); verr != nil {
+				return 0, fmt.Errorf("smt: certificate verification failed: %w", verr)
+			}
+		}
+		return res, err
 	}
 	replicas := make([]*Solver, n)
 	learnedStart := make([]int, n)
@@ -100,7 +120,20 @@ func (s *Solver) portfolio(ctx context.Context, n int, stable bool) (Result, err
 		wg.Add(1)
 		go func(i int, r *Solver) {
 			defer wg.Done()
-			res, err := r.Check()
+			res, err := func() (res Result, err error) {
+				// A replica that panics (a bug, or a corrupted clone) must not
+				// take the whole process down: it becomes a per-worker error
+				// and the race continues on the survivors.
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("smt: portfolio replica %d panicked: %v\n%s", i, p, debug.Stack())
+					}
+				}()
+				if testReplicaFault != nil {
+					testReplicaFault(i)
+				}
+				return r.Check()
+			}()
 			if err == nil && (!stable || i == 0 || res == Unsat) {
 				// A usable verdict: stop the other replicas. In stable mode
 				// a helper's Sat is not usable (its model would make the
@@ -131,28 +164,65 @@ func (s *Solver) portfolio(ctx context.Context, n int, stable bool) (Result, err
 		r.SetInterrupt(nil)
 	}
 
-	// The first usable verdict in completion order wins.
+	// The first usable verdict in completion order wins — but under
+	// certification a winner is trusted only once its certificate checks out;
+	// a replica whose certificate is rejected is demoted to a per-worker
+	// error and the next finisher is considered.
 	winner := -1
 	var verdict Result
+	var primaryErr error
+	var workerErrs []error
 	for o := range outcomes {
 		if o.err != nil {
+			if o.idx == 0 {
+				primaryErr = o.err
+			} else {
+				workerErrs = append(workerErrs, o.err)
+			}
 			continue
 		}
 		if stable && o.idx != 0 && o.res == Sat {
 			continue
+		}
+		if r := replicas[o.idx]; r.Certify && !r.selfCheck {
+			cert := r.Certificate()
+			if cert == nil {
+				workerErrs = append(workerErrs, fmt.Errorf("smt: portfolio replica %d produced no certificate", o.idx))
+				continue
+			}
+			if err := cert.Verify(); err != nil {
+				workerErrs = append(workerErrs, fmt.Errorf("smt: portfolio replica %d certificate rejected: %w", o.idx, err))
+				continue
+			}
 		}
 		winner = o.idx
 		verdict = o.res
 		break
 	}
 	if winner < 0 {
+		// No usable verdict. The primary's error (typically a budget or
+		// cancellation) is the meaningful one; a helper error (e.g. a panic)
+		// is surfaced only when the primary produced none.
+		if primaryErr != nil {
+			return 0, primaryErr
+		}
+		if len(workerErrs) > 0 {
+			return 0, workerErrs[0]
+		}
 		return 0, ErrCanceled
 	}
-	if !stable && winner != 0 {
-		// Adopt the winning replica wholesale: its model (on Sat) and its
-		// learned clauses replace the primary's state.
-		*s = *replicas[winner]
-		s.SetInterrupt(nil)
+	if winner != 0 {
+		if stable {
+			// The primary's state is untouched (determinism), but the verdict
+			// being returned is the helper's: hand its certificate over so
+			// Certificate() backs what the caller just saw.
+			s.lastCert = replicas[winner].lastCert
+		} else {
+			// Adopt the winning replica wholesale: its model (on Sat) and its
+			// learned clauses replace the primary's state.
+			*s = *replicas[winner]
+			s.SetInterrupt(nil)
+		}
 	}
 	if verdict == Unsat {
 		// Migrate short learned clauses from the losers into the surviving
@@ -160,8 +230,10 @@ func (s *Solver) portfolio(ctx context.Context, n int, stable bool) (Result, err
 		// sound for future incremental Check calls. (Skipped on Sat, where
 		// rewinding to decision level 0 would discard the model; skipped in
 		// stable mode, where extra clauses would perturb the primary's
-		// deterministic search on later queries.)
-		if !stable {
+		// deterministic search on later queries; skipped under certification,
+		// where absorbed clauses would enter the clause database as premises
+		// the proof checker has no derivation for.)
+		if !stable && !s.Certify {
 			for i, r := range replicas {
 				if i == winner || r == s {
 					continue

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -238,8 +239,8 @@ func TestPortfolioDeadlineHonored(t *testing.T) {
 	s.MaxDuration = 30 * time.Millisecond
 	start := time.Now()
 	_, err := s.CheckPortfolio(context.Background(), 4)
-	if err != ErrCanceled {
-		t.Fatalf("err = %v, want ErrCanceled", err)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want a budget error matching ErrCanceled and ErrBudgetExceeded", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("deadline took %v to be honored", elapsed)

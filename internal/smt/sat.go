@@ -1,11 +1,8 @@
 package smt
 
 import (
-	"errors"
+	"sync/atomic"
 )
-
-// ErrCanceled reports that the solve exceeded the configured conflict budget.
-var ErrCanceled = errors.New("smt: conflict budget exhausted")
 
 const (
 	varDecay      = 0.95
@@ -48,6 +45,14 @@ type satCore struct {
 	heapPos []int // position in heap, -1 when absent
 
 	unsatisfiable bool
+
+	// stop, when non-nil and set, halts long propagate() runs at the next
+	// trail-item poll (installed by Solver.SetInterrupt). interrupted records
+	// that propagate stopped early: the propagation queue (qhead) still holds
+	// unprocessed literals, so the caller must not treat the partial fixpoint
+	// as complete.
+	stop        *atomic.Bool
+	interrupted bool
 
 	// Statistics.
 	decisions, conflicts, propagations int64
@@ -228,6 +233,12 @@ func (c *satCore) enqueue(l literal, from *clause) bool {
 // clause, or nil.
 func (c *satCore) propagate() *clause {
 	for c.qhead < len(c.trail) {
+		if c.stop != nil && c.propagations&1023 == 0 && c.stop.Load() {
+			// Poll only between trail items: the watch lists are intact here,
+			// and the queue resumes from qhead on the next call.
+			c.interrupted = true
+			return nil
+		}
 		p := c.trail[c.qhead] // p is true; clauses watching not(p) may become unit
 		c.qhead++
 		c.propagations++

@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"errors"
 	"math/big"
 	"sort"
 	"sync/atomic"
@@ -45,6 +44,15 @@ type simplex struct {
 	// pivot-batch poll (installed by Solver.SetInterrupt).
 	stop *atomic.Bool
 
+	// pivotCap, when positive, aborts check() once the cumulative pivot
+	// counter reaches it (set by Solver.check from MaxPivots).
+	pivotCap int
+
+	// certify, when true, makes conflicts carry Farkas coefficients so the
+	// certificate checker can validate theory lemmas without re-running the
+	// simplex.
+	certify bool
+
 	// Scratch storage reused across pivots. pivotAndUpdate/pivot/update
 	// used to allocate fresh big.Rats for every touched row on every pivot;
 	// the pool and the in-place tableau rewrites below reuse row storage
@@ -73,18 +81,20 @@ func (s *simplex) getRat() *big.Rat {
 // putRat returns a rational to the pool. The caller must not retain it.
 func (s *simplex) putRat(r *big.Rat) { s.pool = append(s.pool, r) }
 
-// errCheckCanceled reports a check() aborted by the deadline.
-var errCheckCanceled = errors.New("smt: simplex check canceled")
-
 type bndUndo struct {
 	v       int
 	isUpper bool
 	old     bound
 }
 
-// theoryConflict is a set of literals that cannot be jointly true.
+// theoryConflict is a set of literals that cannot be jointly true. When the
+// solver runs in certification mode, farkas[i] is the non-negative multiplier
+// of the bound asserted by lits[i] in a linear combination that sums to a
+// contradiction (0 >= positive), which is exactly what the certificate
+// checker re-verifies.
 type theoryConflict struct {
-	lits []literal
+	lits   []literal
+	farkas []*big.Rat
 }
 
 func newSimplex() *simplex {
@@ -188,7 +198,7 @@ func (s *simplex) popTo(level int) {
 func (s *simplex) assertBound(v int, isUpper bool, val DRat, reason literal) *theoryConflict {
 	if isUpper {
 		if s.lb[v].active && val.Cmp(s.lb[v].val) < 0 {
-			return &theoryConflict{lits: []literal{reason, s.lb[v].reason}}
+			return &theoryConflict{lits: []literal{reason, s.lb[v].reason}, farkas: s.clashFarkas()}
 		}
 		if s.ub[v].active && val.Cmp(s.ub[v].val) >= 0 {
 			return nil // not tighter
@@ -202,7 +212,7 @@ func (s *simplex) assertBound(v int, isUpper bool, val DRat, reason literal) *th
 		return nil
 	}
 	if s.ub[v].active && val.Cmp(s.ub[v].val) > 0 {
-		return &theoryConflict{lits: []literal{reason, s.ub[v].reason}}
+		return &theoryConflict{lits: []literal{reason, s.ub[v].reason}, farkas: s.clashFarkas()}
 	}
 	if s.lb[v].active && val.Cmp(s.lb[v].val) <= 0 {
 		return nil
@@ -214,6 +224,16 @@ func (s *simplex) assertBound(v int, isUpper bool, val DRat, reason literal) *th
 		s.update(v, val)
 	}
 	return nil
+}
+
+// clashFarkas returns the Farkas multipliers of a direct bound clash
+// (lower > upper on the same variable): one of each, x >= l plus -x >= -u
+// with l > u sums to 0 >= l-u > 0. Nil outside certification mode.
+func (s *simplex) clashFarkas() []*big.Rat {
+	if !s.certify {
+		return nil
+	}
+	return []*big.Rat{big.NewRat(1, 1), big.NewRat(1, 1)}
 }
 
 // update moves nonbasic variable v to value val, adjusting every basic
@@ -245,21 +265,25 @@ func (s *simplex) check() *theoryConflict {
 	return c
 }
 
-// checkWithin is check with an optional wall-clock deadline; on timeout the
-// bounds stay asserted, needCheck stays true, and errCheckCanceled is
-// returned.
+// checkWithin is check with an optional wall-clock deadline and pivot cap;
+// on cancellation the bounds stay asserted, needCheck stays true, and the
+// reason is reported as ErrCanceled (external stop flag), errDeadlineBudget,
+// or errPivotBudget.
 func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 	if !s.needCheck {
 		return nil, nil
 	}
 	heuristicBudget := 100 + 4*s.nVars
 	for pivots := 0; ; pivots++ {
+		if s.pivotCap > 0 && s.pivots >= s.pivotCap {
+			return nil, errPivotBudget
+		}
 		if pivots%32 == 31 {
 			if s.stop != nil && s.stop.Load() {
-				return nil, errCheckCanceled
+				return nil, ErrCanceled
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				return nil, errCheckCanceled
+				return nil, errDeadlineBudget
 			}
 		}
 		bland := pivots >= heuristicBudget
@@ -343,12 +367,18 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 		if pivotCol < 0 {
 			// The row is stuck at every limit: the violated bound on b plus
 			// the limiting bounds of the row variables are jointly
-			// infeasible.
+			// infeasible. The Farkas multipliers are 1 for b's bound and
+			// |coeff_j| for each limiting column bound: combined with the row
+			// identity b = sum(coeff_j x_j), the variable parts cancel and
+			// the bound constants sum to a strict contradiction.
 			confl := &theoryConflict{}
 			if needRaise {
 				confl.lits = append(confl.lits, s.lb[b].reason)
 			} else {
 				confl.lits = append(confl.lits, s.ub[b].reason)
+			}
+			if s.certify {
+				confl.farkas = append(confl.farkas, big.NewRat(1, 1))
 			}
 			for _, j := range cols {
 				c := row[j]
@@ -356,6 +386,9 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 					confl.lits = append(confl.lits, s.ub[j].reason)
 				} else {
 					confl.lits = append(confl.lits, s.lb[j].reason)
+				}
+				if s.certify {
+					confl.farkas = append(confl.farkas, new(big.Rat).Abs(c))
 				}
 			}
 			return confl, nil

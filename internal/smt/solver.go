@@ -65,14 +65,47 @@ type Solver struct {
 	theoryHead int // trail index up to which bounds were sent to the theory
 
 	// MaxConflicts bounds the search effort per Check call; 0 means
-	// unlimited. When exceeded, Check returns ErrCanceled.
+	// unlimited. When exceeded, Check returns an error matching both
+	// ErrBudgetExceeded and ErrCanceled.
 	MaxConflicts int64
 
 	// MaxDuration bounds wall-clock time per Check call; 0 means unlimited.
 	// Checked at every conflict and every restart, so a Check may overshoot
 	// by at most one theory-check's duration. When exceeded, Check returns
-	// ErrCanceled.
+	// an error matching both ErrBudgetExceeded and ErrCanceled.
 	MaxDuration time.Duration
+
+	// MaxPivots bounds simplex pivots per Check call; 0 means unlimited.
+	// When exceeded, Check returns an error matching both ErrBudgetExceeded
+	// and ErrCanceled.
+	MaxPivots int64
+
+	// Certify, when true, makes every Check emit a checkable certificate
+	// (retrievable via Certificate): the full model for Sat, a clausal trace
+	// with Farkas-annotated theory lemmas for Unsat. It must be enabled
+	// before the first Check on this solver — derivations from uncertified
+	// Checks are not in the trace, and certificates built afterwards report
+	// themselves as spoiled and fail verification.
+	Certify bool
+
+	// selfCheck verifies every certificate inside Check itself, turning any
+	// discrepancy into an error (enabled together with Certify when the
+	// GRIDATTACK_CERTIFY environment variable is set, or via
+	// SetCertifyDefault for tests and benchmarks).
+	selfCheck bool
+
+	// certSpoiled records that a Check ran without Certify, so the proof
+	// trace has gaps and certificates can no longer be trusted.
+	certSpoiled bool
+
+	// Certification records. assertRecs/premises grow on every assertion
+	// (cheap; kept unconditionally so Certify may be enabled any time before
+	// the first Check); steps grows during certified search only.
+	assertRecs []assertRecord
+	premises   [][]literal
+	steps      []proofStep
+	slackDefs  map[int][]LinTerm // simplex slack var -> defining linear form
+	lastCert   *Certificate
 
 	// interrupt, when non-nil and set, cancels an in-flight Check at the
 	// next poll point (installed by SetInterrupt; used by the portfolio and
@@ -97,6 +130,7 @@ type Solver struct {
 func (s *Solver) SetInterrupt(flag *atomic.Bool) {
 	s.interrupt = flag
 	s.simp.stop = flag
+	s.core.stop = flag
 }
 
 // interrupted reports whether the external cancellation flag is set.
@@ -130,7 +164,9 @@ func (s *Solver) nextRand() uint64 {
 	return x
 }
 
-// NewSolver returns an empty solver.
+// NewSolver returns an empty solver. When the GRIDATTACK_CERTIFY environment
+// variable is set (or SetCertifyDefault(true) was called), the solver starts
+// with certification and per-Check self-verification enabled.
 func NewSolver() *Solver {
 	s := &Solver{
 		core:         newSATCore(),
@@ -139,9 +175,14 @@ func NewSolver() *Solver {
 		atomVars:     make(map[string]int),
 		formSlacks:   make(map[string]int),
 		tseitinCache: make(map[*Formula]literal),
+		slackDefs:    make(map[int][]LinTerm),
+	}
+	if certifyDefault.Load() {
+		s.Certify = true
+		s.selfCheck = true
 	}
 	s.trueVar = s.core.newVar()
-	s.core.addClause([]literal{mkLit(s.trueVar, false)})
+	s.addClause([]literal{mkLit(s.trueVar, false)})
 	return s
 }
 
@@ -165,8 +206,11 @@ func (s *Solver) NewReal(name string) int {
 func (s *Solver) newSATVar() int { return s.core.newVar() }
 
 // addClause adds a clause at decision level 0, undoing any in-progress
-// search first.
+// search first. Every clause is also recorded as a proof premise for the
+// certificate checker (the recorded copy is immutable; the live clause's
+// literal order changes during watch maintenance).
 func (s *Solver) addClause(lits []literal) {
+	s.premises = append(s.premises, append([]literal(nil), lits...))
 	s.core.addClause(lits)
 }
 
@@ -176,6 +220,7 @@ func (s *Solver) addClause(lits []literal) {
 func (s *Solver) Assert(f *Formula) {
 	s.backtrackAll()
 	s.model = false
+	s.assertRecs = append(s.assertRecs, assertRecord{kind: assertFormula, f: f})
 	s.assertCNF(f)
 }
 
@@ -184,6 +229,9 @@ func (s *Solver) Assert(f *Formula) {
 func (s *Solver) AssertAtMostK(vars []int, k int) {
 	s.backtrackAll()
 	s.model = false
+	s.assertRecs = append(s.assertRecs, assertRecord{
+		kind: assertAtMostK, vars: append([]int(nil), vars...), k: k,
+	})
 	n := len(vars)
 	if k < 0 {
 		s.addClause(nil)
@@ -230,6 +278,9 @@ func (s *Solver) AssertAtMostK(vars []int, k int) {
 func (s *Solver) AssertAtLeastOne(vars []int) {
 	s.backtrackAll()
 	s.model = false
+	s.assertRecs = append(s.assertRecs, assertRecord{
+		kind: assertAtLeastOne, vars: append([]int(nil), vars...),
+	})
 	lits := make([]literal, len(vars))
 	for i, v := range vars {
 		lits[i] = mkLit(v, false)
@@ -244,7 +295,9 @@ func (s *Solver) backtrackAll() {
 }
 
 // Check decides satisfiability of the asserted formulas. On Sat, a model is
-// available through BoolValue/RealValue.
+// available through BoolValue/RealValue. With Certify enabled, a verdict
+// additionally produces a certificate (see Certificate); in self-check mode
+// a certificate that fails verification turns the verdict into an error.
 func (s *Solver) Check() (Result, error) {
 	res, err := s.check()
 	if err == nil && res == Unsat {
@@ -254,11 +307,32 @@ func (s *Solver) Check() (Result, error) {
 		// rediscovered by a later call.
 		s.core.unsatisfiable = true
 	}
+	if err == nil && s.Certify {
+		cert := s.buildCertificate(res)
+		s.lastCert = cert
+		if s.selfCheck {
+			if verr := cert.Verify(); verr != nil {
+				return 0, fmt.Errorf("smt: self-certification of %v verdict failed: %w", res, verr)
+			}
+		}
+	}
 	return res, err
 }
 
+// Certificate returns the certificate of the most recent successful Check,
+// or nil when the last Check did not produce one (Certify disabled, or the
+// Check ended in an error).
+func (s *Solver) Certificate() *Certificate { return s.lastCert }
+
 func (s *Solver) check() (Result, error) {
 	s.model = false
+	s.lastCert = nil
+	if !s.Certify {
+		// Any uncertified search may learn clauses that never enter the
+		// proof trace; certificates built after that cannot be replayed.
+		s.certSpoiled = true
+	}
+	s.simp.certify = s.Certify
 	if s.core.unsatisfiable {
 		return Unsat, nil
 	}
@@ -276,6 +350,10 @@ func (s *Solver) check() (Result, error) {
 	if s.MaxDuration > 0 {
 		deadline = time.Now().Add(s.MaxDuration)
 	}
+	if s.MaxPivots > 0 {
+		s.simp.pivotCap = s.simp.pivots + int(s.MaxPivots)
+		defer func() { s.simp.pivotCap = 0 }()
+	}
 	decisionsSinceClock := 0
 	if s.interrupted() {
 		return 0, ErrCanceled
@@ -283,6 +361,13 @@ func (s *Solver) check() (Result, error) {
 
 	for {
 		confl := s.core.propagate()
+		if s.core.interrupted {
+			// BCP stopped at the external flag with literals still queued
+			// (qhead < len(trail)); the next Check resumes from qhead, so
+			// returning here keeps the solver reusable.
+			s.core.interrupted = false
+			return 0, ErrCanceled
+		}
 		var tconfl *theoryConflict
 		if confl == nil {
 			tconfl = s.drainTheory()
@@ -290,22 +375,13 @@ func (s *Solver) check() (Result, error) {
 				var err error
 				tconfl, err = s.simp.checkWithin(deadline)
 				if err != nil {
-					return 0, ErrCanceled
+					return 0, err
 				}
 			}
 		}
 		if confl != nil || tconfl != nil {
 			s.core.conflicts++
 			conflictsThisRestart++
-			if s.MaxConflicts > 0 && s.core.conflicts-conflictsAtStart > s.MaxConflicts {
-				return 0, ErrCanceled
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				return 0, ErrCanceled
-			}
-			if s.interrupted() {
-				return 0, ErrCanceled
-			}
 			if tconfl != nil {
 				cl, lvl := s.theoryConflictClause(tconfl)
 				if cl == nil {
@@ -321,7 +397,23 @@ func (s *Solver) check() (Result, error) {
 			if s.core.decisionLevel() == 0 {
 				return Unsat, nil
 			}
+			// Budget and cancellation polls run only after the level-0 unsat
+			// checks above. Polling first would return ErrCanceled for a
+			// conflict that already proves unsatisfiability — and since
+			// finding it consumed it (theory literals past theoryHead,
+			// propagation queue drained), a subsequent Check could not
+			// rediscover it and might answer Sat.
+			if s.MaxConflicts > 0 && s.core.conflicts-conflictsAtStart > s.MaxConflicts {
+				return 0, errConflictBudget
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, errDeadlineBudget
+			}
+			if s.interrupted() {
+				return 0, ErrCanceled
+			}
 			learnt, bt := s.core.analyze(confl)
+			s.logLearned(learnt)
 			s.core.cancelUntil(bt)
 			s.simp.popTo(bt)
 			s.theoryHead = min(s.theoryHead, len(s.core.trail))
@@ -355,7 +447,7 @@ func (s *Solver) check() (Result, error) {
 		if decisionsSinceClock >= 512 {
 			decisionsSinceClock = 0
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				return 0, ErrCanceled
+				return 0, errDeadlineBudget
 			}
 			if s.interrupted() {
 				return 0, ErrCanceled
@@ -367,7 +459,7 @@ func (s *Solver) check() (Result, error) {
 			// Complete assignment, theory-consistent: SAT.
 			tc, err := s.simp.checkWithin(deadline)
 			if err != nil {
-				return 0, ErrCanceled
+				return 0, err
 			}
 			if tc != nil {
 				// Should have been caught above; treat as a conflict.
@@ -436,10 +528,60 @@ func (s *Solver) theoryConflictClause(tc *theoryConflict) (*clause, int) {
 			maxLevel = lvl
 		}
 	}
+	if s.Certify {
+		// Log the theory lemma before any clause that resolves against it,
+		// so the checker has it in scope when replaying the derivation.
+		s.steps = append(s.steps, proofStep{
+			lits:   append([]literal(nil), lits...),
+			theory: true,
+			tlits:  append([]literal(nil), tc.lits...),
+			farkas: tc.farkas,
+		})
+	}
 	if maxLevel == 0 {
 		return nil, 0
 	}
 	return &clause{lits: lits, learned: true}, maxLevel
+}
+
+// logLearned records a learned clause in the proof trace. The copy is taken
+// before the clause is attached (watch maintenance reorders live literals).
+func (s *Solver) logLearned(lits []literal) {
+	if !s.Certify {
+		return
+	}
+	s.steps = append(s.steps, proofStep{lits: append([]literal(nil), lits...)})
+}
+
+// buildCertificate snapshots the state backing a verdict. The assertion,
+// premise, and step slices are append-only, so three-index slice headers
+// freeze this Check's view without copying.
+func (s *Solver) buildCertificate(res Result) *Certificate {
+	c := &Certificate{
+		res:       res,
+		spoiled:   s.certSpoiled,
+		asserts:   s.assertRecs[:len(s.assertRecs):len(s.assertRecs)],
+		premises:  s.premises[:len(s.premises):len(s.premises)],
+		atoms:     s.atoms,
+		slackDefs: s.slackDefs,
+		nVars:     s.core.numVars,
+	}
+	switch res {
+	case Unsat:
+		// The trace must end in the empty clause; derive it now unless a
+		// previous Unsat already did.
+		if n := len(s.steps); n == 0 || len(s.steps[n-1].lits) != 0 {
+			s.steps = append(s.steps, proofStep{})
+		}
+		c.steps = s.steps[:len(s.steps):len(s.steps)]
+	case Sat:
+		c.boolModel = append([]assignVal(nil), s.core.assign...)
+		c.realModel = make([]*big.Rat, s.simp.nVars)
+		for v := range c.realModel {
+			c.realModel[v] = s.simp.value(v, s.modelDelta)
+		}
+	}
+	return c
 }
 
 // BoolValue returns the model value of boolean variable v. Valid only after

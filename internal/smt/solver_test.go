@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -665,9 +666,13 @@ func TestMaxConflictsBudget(t *testing.T) {
 	}
 	s.MaxConflicts = 1
 	_, err := s.Check()
-	// Either it solved within one conflict (possible) or it must report
-	// cancellation; both are acceptable, but an unexpected error is not.
-	if err != nil && err != ErrCanceled {
+	// Either it solved within one conflict (possible) or it must report the
+	// budget; both are acceptable, but an unexpected error is not. The budget
+	// error matches both sentinels for backward compatibility.
+	if err != nil && !errors.Is(err, ErrCanceled) {
 		t.Fatalf("unexpected error: %v", err)
+	}
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("budget error does not match ErrBudgetExceeded: %v", err)
 	}
 }

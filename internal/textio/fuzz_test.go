@@ -24,6 +24,15 @@ func FuzzParse(f *testing.F) {
 	f.Add("")
 	f.Add("# Topology\n1 2 3 0.5 0.1 1 1 0 0 1\n")
 	f.Add("# Resource limitation (measurements, buses)\n3 2\n")
+	// Hardening seeds: non-finite values, duplicate IDs, and degenerate
+	// branches must be rejected with precise errors, never accepted or
+	// panicked on.
+	f.Add("# Topology\n1 1 2 NaN 1.0 1 1 0 0 1\n")
+	f.Add("# Topology\n1 1 2 +Inf 1.0 1 1 0 0 1\n# Bus Types\n1 1 0\n2 0 1\n# Cost\n100 3\n")
+	f.Add("# Topology\n1 1 2 0.5 Inf 1 1 0 0 1\n")
+	f.Add("# Topology\n1 1 2 0 1.0 1 1 0 0 1\n# Bus Types\n1 1 0\n2 0 1\n# Cost\n100 3\n")
+	f.Add("# Topology\n1 1 2 0.5 1.0 1 1 0 0 1\n1 2 1 0.5 1.0 1 1 0 0 1\n# Bus Types\n1 1 0\n2 0 1\n# Cost\n100 3\n")
+	f.Add("# Topology\n1 1 2 0.5 1.0 1 1 0 0 1\n# Measurement\n1 1 0 1\n1 1 0 1\n# Bus Types\n1 1 0\n2 0 1\n# Cost\n100 3\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		in, err := Parse(strings.NewReader(text))
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -126,6 +127,9 @@ func Parse(r io.Reader) (*Input, error) {
 			if len(fields) != 10 {
 				return nil, fmt.Errorf("%w: line %d: topology rows need 10 fields, got %d", ErrFormat, lineNo, len(fields))
 			}
+			if fields[3] == 0 {
+				return nil, fmt.Errorf("%w: line %d: transmission line %d has zero admittance (an open or zero-susceptance branch cannot carry DC flow)", ErrFormat, lineNo, int(fields[0]))
+			}
 			lines = append(lines, lineRow{
 				id: int(fields[0]), from: int(fields[1]), to: int(fields[2]),
 				admittance: fields[3], capacity: fields[4],
@@ -174,6 +178,21 @@ func Parse(r io.Reader) (*Input, error) {
 	}
 	if len(cost) < 2 {
 		return nil, fmt.Errorf("%w: cost section needs constraint and increase", ErrFormat)
+	}
+
+	seenLines := make(map[int]int, len(lines))
+	for i, l := range lines {
+		if first, dup := seenLines[l.id]; dup {
+			return nil, fmt.Errorf("%w: duplicate line ID %d (topology rows %d and %d)", ErrFormat, l.id, first+1, i+1)
+		}
+		seenLines[l.id] = i
+	}
+	seenMeas := make(map[int]int, len(meas))
+	for i, m := range meas {
+		if first, dup := seenMeas[m.id]; dup {
+			return nil, fmt.Errorf("%w: duplicate measurement ID %d (measurement rows %d and %d)", ErrFormat, m.id, first+1, i+1)
+		}
+		seenMeas[m.id] = i
 	}
 
 	g := &grid.Grid{Name: "input", RefBus: 1}
@@ -231,6 +250,13 @@ func parseFloats(s string) ([]float64, error) {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad number %q", p)
+		}
+		// NaN compares false against every bound, so a NaN that slips in
+		// here would pass validation and poison the analysis (the exact
+		// solver core rejects non-finite input by panicking). Refuse it at
+		// the boundary with a precise message instead.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("non-finite number %q", p)
 		}
 		out = append(out, v)
 	}

@@ -131,6 +131,45 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseHardening checks the precise rejection of inputs that older
+// versions silently accepted: non-finite numbers (NaN passes every ordered
+// comparison downstream), duplicate IDs, and zero-admittance branches.
+func TestParseHardening(t *testing.T) {
+	mutate := func(from, to string) string {
+		s := strings.Replace(sampleInput, from, to, 1)
+		if s == sampleInput {
+			t.Fatalf("mutation %q not applied", from)
+		}
+		return s
+	}
+	tests := []struct {
+		name    string
+		input   string
+		wantMsg string
+	}{
+		{"NaN admittance", mutate("1 1 2 10.0 0.5", "1 1 2 NaN 0.5"), "non-finite number"},
+		{"Inf capacity", mutate("1 1 2 10.0 0.5", "1 1 2 10.0 Inf"), "non-finite number"},
+		{"negative Inf load", mutate("2 0.4 0.6 0.2", "2 0.4 0.6 -Inf"), "non-finite number"},
+		{"NaN cost", mutate("100 3", "NaN 3"), "non-finite number"},
+		{"zero admittance", mutate("2 2 3 5.0 0.5", "2 2 3 0 0.5"), "zero admittance"},
+		{"duplicate line ID", mutate("2 2 3 5.0 0.5", "1 2 3 5.0 0.5"), "duplicate line ID 1"},
+		{"duplicate measurement ID", mutate("4 1 0 1", "3 1 0 1"), "duplicate measurement ID 3"},
+	}
+	for _, tc := range tests {
+		_, err := Parse(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: error %v does not wrap ErrFormat", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
 func TestWriteResult(t *testing.T) {
 	g := cases.Paper5Bus()
 	in := &Input{Grid: g, Plan: measure.FullPlan(7, 5), MinIncreasePercent: 3}
