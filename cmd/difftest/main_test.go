@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "5", "-seed", "1", "-short", "-q"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 discrepancies") {
+		t.Errorf("missing summary line: %q", out.String())
+	}
+}
+
+func TestRunLayerSubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-n", "3", "-layers", "smt,opf", "-q"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+}
+
+func TestRunUnknownLayer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-n", "1", "-layers", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2 for unknown layer", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown layer") {
+		t.Errorf("stderr missing explanation: %q", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2 for bad flag", code)
+	}
+}
+
+func TestRunSeedExactReplay(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	if code := run([]string{"-n", "1", "-seed-exact", "424242", "-layers", "opf", "-q"}, &a, &errOut); code != 0 {
+		t.Fatalf("replay run failed: %d (%s)", code, errOut.String())
+	}
+	if code := run([]string{"-n", "1", "-seed-exact", "424242", "-layers", "opf", "-q"}, &b, &errOut); code != 0 {
+		t.Fatalf("second replay run failed: %d", code)
+	}
+	if a.String() != b.String() {
+		t.Errorf("exact-seed replay is not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,65 @@
+package difftest
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gridattack/internal/measure"
+	"gridattack/internal/textio"
+)
+
+func deterministicRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestCheckedInFixtures replays every fixture under testdata/difftest
+// through all grid-level oracle layers and the metamorphic properties. The
+// fixtures are shrinker outputs and trait-stress systems checked in exactly
+// so that a future regression re-fails here, without re-running the
+// generator lottery.
+func TestCheckedInFixtures(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "difftest")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no fixtures checked in under testdata/difftest")
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".txt" {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			in, err := textio.Parse(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := in.Grid.Validate(); err != nil {
+				t.Fatalf("invalid grid: %v", err)
+			}
+			sys := &System{
+				Grid: in.Grid,
+				Plan: measure.FullPlan(in.Grid.NumLines(), in.Grid.NumBuses()),
+			}
+			checks := map[string]func() string{
+				"opf":                func() string { return checkOPF(sys) },
+				"wls":                func() string { return checkWLS(sys, deterministicRNG(1)) },
+				"dist":               func() string { return checkDist(sys) },
+				"meta/permutation":   func() string { return propPermutation(sys, deterministicRNG(2)) },
+				"meta/cost-scale":    func() string { return propCostScale(sys, deterministicRNG(3)) },
+				"meta/redundant-wls": func() string { return propRedundantWLS(sys, deterministicRNG(4)) },
+			}
+			for name, chk := range checks {
+				if d := chk(); d != "" {
+					t.Errorf("[%s] %s", name, d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+)
+
+// System is one generated test subject: a validated grid plus its
+// measurement plan and a human-readable description of the edge cases the
+// generator deliberately planted in it.
+type System struct {
+	Grid *grid.Grid
+	Plan *measure.Plan
+	// Traits lists the edge cases planted by the generator (parallel-lines,
+	// degree2-chain, near-degenerate-costs, zero-injection, tight-capacity).
+	Traits []string
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("system{b=%d l=%d g=%d loads=%d traits=%v}",
+		s.Grid.NumBuses(), s.Grid.NumLines(), len(s.Grid.Generators), len(s.Grid.Loads), s.Traits)
+}
+
+// GenSystem generates a random, connected, OPF-feasible small system. It
+// extends cases.Synthetic's envelope with the topology and parameter edge
+// cases the oracles must survive: parallel lines between one bus pair,
+// degree-2 chains hanging off the ring, near-degenerate generator costs,
+// zero-injection buses, and occasionally deliberately tight line capacities
+// (still feasible — capacities are sized from a solved power flow).
+func GenSystem(rng *rand.Rand) *System {
+	for {
+		if s := genSystemOnce(rng); s != nil {
+			return s
+		}
+	}
+}
+
+func genSystemOnce(rng *rand.Rand) *System {
+	buses := 3 + rng.Intn(6) // 3..8
+	g := &grid.Grid{Name: "difftest", RefBus: 1 + rng.Intn(buses)}
+	var traits []string
+
+	for id := 1; id <= buses; id++ {
+		g.Buses = append(g.Buses, grid.Bus{ID: id})
+	}
+
+	addLine := func(f, t int) {
+		g.Lines = append(g.Lines, grid.Line{
+			ID:              len(g.Lines) + 1,
+			From:            f,
+			To:              t,
+			Admittance:      1 + float64(rng.Intn(80))/8, // 1..10.875 in 1/8 steps
+			Capacity:        1,                           // resized below
+			InService:       true,
+			AdmittanceKnown: true,
+			CanAlterStatus:  true,
+		})
+	}
+
+	// Topology: either a ring (every bus degree >= 2) or a tree with a
+	// degree-2 chain (radial branches make LODF/outage handling interesting:
+	// many outages split the network).
+	chain := rng.Intn(3) == 0
+	if chain && buses >= 4 {
+		traits = append(traits, "degree2-chain")
+		// Path 1-2-...-k, then remaining buses attached at random.
+		k := 2 + rng.Intn(buses-2)
+		for id := 1; id < k; id++ {
+			addLine(id, id+1)
+		}
+		for id := k + 1; id <= buses; id++ {
+			addLine(1+rng.Intn(id-1), id)
+		}
+	} else {
+		for id := 1; id <= buses; id++ {
+			addLine(id, id%buses+1)
+		}
+	}
+	// Random chords.
+	for extra := rng.Intn(3); extra > 0; extra-- {
+		f, t := 1+rng.Intn(buses), 1+rng.Intn(buses)
+		if f != t {
+			addLine(f, t)
+		}
+	}
+	// Parallel lines between one existing bus pair, same or different
+	// admittance (flow splitting by admittance ratio is a classic
+	// distribution-factor trap).
+	if rng.Intn(2) == 0 {
+		traits = append(traits, "parallel-lines")
+		ln := g.Lines[rng.Intn(len(g.Lines))]
+		addLine(ln.From, ln.To)
+	}
+
+	// Loads on a random subset; leave at least one zero-injection bus when
+	// possible.
+	var totalLoad float64
+	for id := 1; id <= buses; id++ {
+		if rng.Float64() < 0.6 {
+			p := 0.1 + float64(rng.Intn(40))/100 // 0.10..0.49 in cent steps
+			g.Buses[id-1].HasLoad = true
+			g.Loads = append(g.Loads, grid.Load{Bus: id, P: p, MaxP: p * 1.5, MinP: p * 0.5})
+			totalLoad += p
+		}
+	}
+	if len(g.Loads) == 0 {
+		b := 1 + rng.Intn(buses)
+		g.Buses[b-1].HasLoad = true
+		g.Loads = append(g.Loads, grid.Load{Bus: b, P: 0.25, MaxP: 0.375, MinP: 0.125})
+		totalLoad = 0.25
+	}
+
+	// Generators: 1..3, on distinct buses, with ~2x aggregate headroom.
+	ngen := 1 + rng.Intn(3)
+	if ngen > buses {
+		ngen = buses
+	}
+	perm := rng.Perm(buses)
+	degenerate := rng.Intn(3) == 0 && ngen > 1
+	if degenerate {
+		traits = append(traits, "near-degenerate-costs")
+	}
+	baseBeta := 500 + float64(rng.Intn(20))*100
+	for i := 0; i < ngen; i++ {
+		busID := perm[i] + 1
+		g.Buses[busID-1].HasGenerator = true
+		beta := baseBeta + float64(rng.Intn(10))*250
+		if degenerate {
+			// Betas differing in the 4th significant digit: ties in the
+			// dispatch order that float simplex and the exact oracle must
+			// still rank identically. (0.25 steps survive textio's %.2f
+			// fixture format exactly.)
+			beta = baseBeta + float64(i)*0.25
+		}
+		g.Generators = append(g.Generators, grid.Generator{
+			Bus:   busID,
+			MaxP:  totalLoad * 2 / float64(ngen) * (0.8 + rng.Float64()*0.4),
+			MinP:  0,
+			Alpha: float64(rng.Intn(5)) * 25,
+			Beta:  beta,
+		})
+	}
+	// Guarantee aggregate capacity covers the load.
+	var cap0 float64
+	for _, gen := range g.Generators {
+		cap0 += gen.MaxP
+	}
+	if cap0 < totalLoad*1.2 {
+		g.Generators[0].MaxP += totalLoad*1.2 - cap0
+	}
+
+	// Note one zero-injection bus when present.
+	for _, b := range g.Buses {
+		if !b.HasLoad && !b.HasGenerator {
+			traits = append(traits, "zero-injection")
+			break
+		}
+	}
+
+	// Size line capacities from a uniform-dispatch power flow so the base
+	// OPF is feasible; occasionally make them tight to force binding line
+	// constraints in the optimum.
+	if !sizeSystemCapacities(g, rng) {
+		return nil
+	}
+	if rng.Intn(3) == 0 {
+		traits = append(traits, "tight-capacity")
+		for i := range g.Lines {
+			g.Lines[i].Capacity = roundCent(g.Lines[i].Capacity * 0.75)
+			if g.Lines[i].Capacity < 0.01 {
+				g.Lines[i].Capacity = 0.01
+			}
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil
+	}
+	return &System{Grid: g, Plan: measure.FullPlan(g.NumLines(), g.NumBuses()), Traits: traits}
+}
+
+// sizeSystemCapacities solves a balanced proportional-dispatch power flow
+// and sets every line capacity to a comfortable multiple of the observed
+// flow (plus slack for redistribution after outages). Returns false when
+// the power flow fails (degenerate system — caller regenerates).
+func sizeSystemCapacities(g *grid.Grid, rng *rand.Rand) bool {
+	dispatch := proportionalDispatch(g)
+	if dispatch == nil {
+		return false
+	}
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), dispatch)
+	if err != nil {
+		return false
+	}
+	for i := range g.Lines {
+		c := math.Abs(pf.LineFlow[i])*2.5 + 0.15 + float64(rng.Intn(10))/100
+		g.Lines[i].Capacity = roundCent(c)
+	}
+	return true
+}
+
+// proportionalDispatch spreads the total load over the generators
+// proportionally to their MaxP, respecting limits. Returns nil when the
+// fleet cannot cover the load.
+func proportionalDispatch(g *grid.Grid) []float64 {
+	total := g.TotalLoad()
+	var capSum float64
+	for _, gen := range g.Generators {
+		capSum += gen.MaxP
+	}
+	if capSum < total {
+		return nil
+	}
+	out := make([]float64, g.NumBuses())
+	for _, gen := range g.Generators {
+		out[gen.Bus-1] += total * gen.MaxP / capSum
+	}
+	return out
+}
+
+func roundCent(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,119 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridattack/internal/dist"
+)
+
+// The distribution-factor oracle never touches a sensitivity matrix: every
+// LODF/LCDF prediction is checked against a full power-flow re-solve on the
+// post-change topology with the same injections. PTDF-derived flows are
+// likewise compared against the direct B-matrix solve.
+
+// checkDist cross-validates PTDF flows, every single-line LODF outage, and
+// every line-closure LCDF against re-solves. Empty return means agreement.
+func checkDist(sys *System) string {
+	g := sys.Grid
+	t := g.TrueTopology()
+	dispatch := proportionalDispatch(g)
+	if dispatch == nil {
+		return ""
+	}
+	pf, err := g.SolvePowerFlow(t, dispatch)
+	if err != nil {
+		return fmt.Sprintf("base power flow: %v", err)
+	}
+	fac, err := dist.New(g, t)
+	if err != nil {
+		return fmt.Sprintf("dist.New on connected topology: %v", err)
+	}
+
+	// PTDF flows vs. the direct solve.
+	flows, err := fac.Flows(pf.Injection)
+	if err != nil {
+		return fmt.Sprintf("fac.Flows: %v", err)
+	}
+	for i := range flows {
+		if relDiff(flows[i], pf.LineFlow[i]) > 1e-6 {
+			return fmt.Sprintf("PTDF flow mismatch on line %d: %.9f vs direct %.9f", i+1, flows[i], pf.LineFlow[i])
+		}
+	}
+
+	// LODF: for every mapped line, predicted post-outage flows vs. a full
+	// re-solve. When the outage splits the network, the prediction must
+	// refuse (ErrRadial) exactly when connectivity says so.
+	for _, out := range t.Lines() {
+		reduced := t.WithExcluded(out)
+		connected := g.Connected(reduced)
+		post, err := fac.FlowsAfterOutage(pf.LineFlow, out)
+		if errors.Is(err, dist.ErrRadial) {
+			if connected {
+				return fmt.Sprintf("LODF refused outage of line %d (ErrRadial) but the network stays connected", out)
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Sprintf("FlowsAfterOutage(%d): %v", out, err)
+		}
+		if !connected {
+			// A parallel-circuit outage can leave the island intact even
+			// though LODF denominators survive; if the network split, the
+			// prediction is meaningless and should have errored.
+			return fmt.Sprintf("LODF predicted flows for outage of line %d, but the outage splits the network", out)
+		}
+		pfPost, err := g.SolvePowerFlowInjections(reduced, pf.Injection)
+		if err != nil {
+			return fmt.Sprintf("post-outage re-solve (line %d): %v", out, err)
+		}
+		for i := range post {
+			if !reduced.Contains(i + 1) {
+				continue
+			}
+			if relDiff(post[i], pfPost.LineFlow[i]) > 1e-6 {
+				return fmt.Sprintf("LODF mismatch: outage %d, line %d: predicted %.9f vs re-solve %.9f",
+					out, i+1, post[i], pfPost.LineFlow[i])
+			}
+		}
+	}
+
+	// LCDF: open one mapped line (keeping connectivity) so there is a
+	// closure to predict, then compare predicted flow changes against the
+	// closure re-solve.
+	for _, cand := range t.Lines() {
+		open := t.WithExcluded(cand)
+		if !g.Connected(open) {
+			continue
+		}
+		pfOpen, err := g.SolvePowerFlowInjections(open, pf.Injection)
+		if err != nil {
+			return fmt.Sprintf("pre-closure solve (line %d open): %v", cand, err)
+		}
+		// Closing cand restores t; the re-solve after closure is pf itself.
+		for _, mon := range open.Lines() {
+			lcdf, err := dist.LCDF(g, open, mon, cand)
+			if err != nil {
+				return fmt.Sprintf("LCDF(%d,%d): %v", mon, cand, err)
+			}
+			predicted := pfOpen.LineFlow[mon-1] + lcdf*pf.LineFlow[cand-1]
+			if relDiff(predicted, pf.LineFlow[mon-1]) > 1e-6 {
+				return fmt.Sprintf("LCDF mismatch: closing %d, line %d: predicted %.9f vs re-solve %.9f",
+					cand, mon, predicted, pf.LineFlow[mon-1])
+			}
+		}
+		break // one closure scenario per system is enough per case
+	}
+
+	// Numeric hygiene: factors must be finite.
+	for _, ln := range g.Lines {
+		for _, bus := range g.Buses {
+			v := fac.PTDF(ln.ID, bus.ID)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Sprintf("non-finite PTDF(%d,%d) = %v", ln.ID, bus.ID, v)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,322 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/opf"
+)
+
+// The DC-OPF oracle solves the same dispatch problem as opf.Solve by a
+// completely different method: it reduces the problem to generator space
+// (flows are an exact linear function of the dispatch once the topology is
+// fixed), then enumerates every candidate vertex of the feasible polytope —
+// each choice of dim-many active constraints — solving the resulting linear
+// systems exactly in big.Rat. The minimum over feasible vertices is the
+// exact optimum; no feasible vertex means the LP is infeasible (the
+// polytope is bounded, so nonempty implies a vertex exists).
+
+// opfOracleResult is the oracle verdict.
+type opfOracleResult struct {
+	feasible bool
+	cost     *big.Rat
+}
+
+// linFun is an affine function of the dispatch: coeff . g + constant.
+type linFun struct {
+	coeff []*big.Rat
+	c     *big.Rat
+}
+
+// flowFunctions computes, for every mapped line, the line flow as an exact
+// affine function of the generator outputs: theta = Bred^-1 (inj_red),
+// flow_l = d_l (theta_f - theta_e). Returns nil when the topology
+// disconnects the network (Bred singular) — callers treat that as
+// infeasible, matching opf.Solve.
+func flowFunctions(g *grid.Grid, t grid.Topology, loads []float64) map[int]*linFun {
+	b := g.NumBuses()
+	// Reduced index map (same convention as the implementation, but the
+	// matrix assembly and solve below are independent).
+	idx := make([]int, b+1)
+	ri := 0
+	for _, bus := range g.Buses {
+		if bus.ID == g.RefBus {
+			idx[bus.ID] = -1
+			continue
+		}
+		idx[bus.ID] = ri
+		ri++
+	}
+	n := b - 1
+	bm := newRatMat(n, n)
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		d := ratFromFloat(ln.Admittance)
+		fi, ti := idx[ln.From], idx[ln.To]
+		if fi >= 0 {
+			bm.add(fi, fi, d)
+		}
+		if ti >= 0 {
+			bm.add(ti, ti, d)
+		}
+		if fi >= 0 && ti >= 0 {
+			nd := new(big.Rat).Neg(d)
+			bm.add(fi, ti, nd)
+			bm.add(ti, fi, nd)
+		}
+	}
+	// theta as affine function of dispatch: solve Bred X = RHS for the
+	// constant part (-loads) and one column per generator bus.
+	ng := len(g.Generators)
+	rhs0 := make([]*big.Rat, n)
+	for i := range rhs0 {
+		rhs0[i] = new(big.Rat)
+	}
+	for busID := 1; busID <= b; busID++ {
+		if loads[busID-1] != 0 {
+			if ri := idx[busID]; ri >= 0 {
+				rhs0[ri].Sub(rhs0[ri], ratFromFloat(loads[busID-1]))
+			}
+		}
+	}
+	theta0, ok := ratSolve(bm, rhs0)
+	if !ok {
+		return nil
+	}
+	thetaG := make([][]*big.Rat, ng)
+	for k, gen := range g.Generators {
+		rhs := make([]*big.Rat, n)
+		for i := range rhs {
+			rhs[i] = new(big.Rat)
+		}
+		if ri := idx[gen.Bus]; ri >= 0 {
+			rhs[ri].SetInt64(1)
+		}
+		col, ok := ratSolve(bm, rhs)
+		if !ok {
+			return nil
+		}
+		thetaG[k] = col
+	}
+	thetaAt := func(busID int) (*big.Rat, []*big.Rat) {
+		ri := idx[busID]
+		if ri < 0 {
+			zero := make([]*big.Rat, ng)
+			for i := range zero {
+				zero[i] = new(big.Rat)
+			}
+			return new(big.Rat), zero
+		}
+		cols := make([]*big.Rat, ng)
+		for k := range cols {
+			cols[k] = thetaG[k][ri]
+		}
+		return theta0[ri], cols
+	}
+	out := make(map[int]*linFun, len(g.Lines))
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		d := ratFromFloat(ln.Admittance)
+		c0f, colsF := thetaAt(ln.From)
+		c0t, colsT := thetaAt(ln.To)
+		f := &linFun{coeff: make([]*big.Rat, ng), c: new(big.Rat)}
+		f.c.Sub(c0f, c0t)
+		f.c.Mul(f.c, d)
+		for k := 0; k < ng; k++ {
+			f.coeff[k] = new(big.Rat).Sub(colsF[k], colsT[k])
+			f.coeff[k].Mul(f.coeff[k], d)
+		}
+		out[ln.ID] = f
+	}
+	return out
+}
+
+// opfOracle computes the exact DC-OPF optimum (or infeasibility) for the
+// grid under topology t serving the given loads (nil = grid loads).
+func opfOracle(g *grid.Grid, t grid.Topology, loads []float64) (*opfOracleResult, error) {
+	if len(g.Generators) == 0 {
+		return nil, errors.New("difftest: oracle needs generators")
+	}
+	if loads == nil {
+		loads = g.LoadVector()
+	}
+	if !g.Connected(t) {
+		return &opfOracleResult{feasible: false}, nil
+	}
+	flows := flowFunctions(g, t, loads)
+	if flows == nil {
+		return &opfOracleResult{feasible: false}, nil
+	}
+	ng := len(g.Generators)
+
+	// Constraint list over dispatch g (dimension ng, one equality
+	// sum g = totalLoad): rows are (coeffs, rhs) for coeff.g <= rhs.
+	type row struct {
+		coeff []*big.Rat
+		rhs   *big.Rat
+	}
+	var rows []row
+	addRow := func(f *linFun, sign int64, bound *big.Rat) {
+		r := row{coeff: make([]*big.Rat, ng), rhs: new(big.Rat)}
+		s := new(big.Rat).SetInt64(sign)
+		for k := 0; k < ng; k++ {
+			r.coeff[k] = new(big.Rat).Mul(f.coeff[k], s)
+		}
+		// sign*(coeff.g + c) <= bound  =>  sign*coeff.g <= bound - sign*c
+		sc := new(big.Rat).Mul(f.c, s)
+		r.rhs.Sub(bound, sc)
+		rows = append(rows, r)
+	}
+	unit := func(k int, sign int64, bound *big.Rat) {
+		f := &linFun{coeff: make([]*big.Rat, ng), c: new(big.Rat)}
+		for i := range f.coeff {
+			f.coeff[i] = new(big.Rat)
+		}
+		f.coeff[k].SetInt64(1)
+		addRow(f, sign, bound)
+	}
+	for k, gen := range g.Generators {
+		unit(k, 1, ratFromFloat(gen.MaxP))
+		unit(k, -1, new(big.Rat).Neg(ratFromFloat(gen.MinP)))
+	}
+	for _, ln := range g.Lines {
+		f, ok := flows[ln.ID]
+		if !ok {
+			continue
+		}
+		c := ratFromFloat(ln.Capacity)
+		addRow(f, 1, c)
+		addRow(f, -1, c)
+	}
+
+	totalLoad := new(big.Rat)
+	for _, l := range loads {
+		totalLoad.Add(totalLoad, ratFromFloat(l))
+	}
+
+	// Enumerate candidate vertices: the equality plus (ng-1) active
+	// inequality rows pin down a unique dispatch (when independent).
+	dim := ng - 1
+	best := (*big.Rat)(nil)
+	feasibleAny := false
+	betas := make([]*big.Rat, ng)
+	alphaSum := new(big.Rat)
+	for k, gen := range g.Generators {
+		betas[k] = ratFromFloat(gen.Beta)
+		alphaSum.Add(alphaSum, ratFromFloat(gen.Alpha))
+	}
+	tryPoint := func(x []*big.Rat) {
+		// Feasibility: every row within bounds (exact).
+		lhs := new(big.Rat)
+		tmp := new(big.Rat)
+		for _, r := range rows {
+			lhs.SetInt64(0)
+			for k := 0; k < ng; k++ {
+				tmp.Mul(r.coeff[k], x[k])
+				lhs.Add(lhs, tmp)
+			}
+			if lhs.Cmp(r.rhs) > 0 {
+				return
+			}
+		}
+		feasibleAny = true
+		cost := new(big.Rat).Set(alphaSum)
+		for k := 0; k < ng; k++ {
+			tmp.Mul(betas[k], x[k])
+			cost.Add(cost, tmp)
+		}
+		if best == nil || cost.Cmp(best) < 0 {
+			best = cost
+		}
+	}
+
+	sys := newRatMat(ng, ng)
+	rhs := make([]*big.Rat, ng)
+	var recurse func(start, chosen int, picked []int)
+	recurse = func(start, chosen int, picked []int) {
+		if chosen == dim {
+			// Row 0: sum g = totalLoad; rows 1..: the picked active rows.
+			for j := 0; j < ng; j++ {
+				sys.a[0][j].SetInt64(1)
+			}
+			rhs[0] = totalLoad
+			for i, ri := range picked {
+				for j := 0; j < ng; j++ {
+					sys.a[i+1][j].Set(rows[ri].coeff[j])
+				}
+				rhs[i+1] = rows[ri].rhs
+			}
+			if x, ok := ratSolve(sys, rhs); ok {
+				tryPoint(x)
+			}
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			recurse(i+1, chosen+1, append(picked, i))
+		}
+	}
+	recurse(0, 0, nil)
+	if !feasibleAny {
+		return &opfOracleResult{feasible: false}, nil
+	}
+	return &opfOracleResult{feasible: true, cost: best}, nil
+}
+
+// checkOPF cross-validates opf.Solve against the exact oracle on the true
+// topology (and, when mapped-line removal keeps the network connected, on
+// one perturbed topology too). Empty return means agreement.
+func checkOPF(sys *System) string {
+	g := sys.Grid
+	topos := []grid.Topology{g.TrueTopology()}
+	// One reduced topology, if some line can be dropped without splitting.
+	full := g.TrueTopology()
+	for _, ln := range g.Lines {
+		if !full.Contains(ln.ID) {
+			continue
+		}
+		cand := full.WithExcluded(ln.ID)
+		if g.Connected(cand) {
+			topos = append(topos, cand)
+			break
+		}
+	}
+	for _, t := range topos {
+		want, err := opfOracle(g, t, nil)
+		if err != nil {
+			return fmt.Sprintf("opf oracle error: %v", err)
+		}
+		sol, err := opf.Solve(g, t, nil)
+		switch {
+		case errors.Is(err, opf.ErrInfeasible):
+			if want.feasible {
+				oc, _ := want.cost.Float64()
+				return fmt.Sprintf("opf.Solve says infeasible, oracle found optimum %.6f (topology %v)", oc, t.Lines())
+			}
+		case err != nil:
+			return fmt.Sprintf("opf.Solve error: %v", err)
+		default:
+			if !want.feasible {
+				return fmt.Sprintf("opf.Solve found cost %.6f, oracle says infeasible (topology %v)", sol.Cost, t.Lines())
+			}
+			oc, _ := want.cost.Float64()
+			if relDiff(sol.Cost, oc) > 1e-6 {
+				return fmt.Sprintf("opf cost mismatch: solver %.9f vs oracle %.9f (topology %v)", sol.Cost, oc, t.Lines())
+			}
+		}
+	}
+	return ""
+}
+
+// relDiff returns |a-b| / max(1, |a|, |b|).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d / m
+}

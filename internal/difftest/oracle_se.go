@@ -1,0 +1,191 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/se"
+)
+
+// The WLS oracle re-derives the state estimate by building the measurement
+// matrix from first principles (per-measurement physics, not the
+// implementation's matrix products) and solving the normal equations
+// (H^T H) x = H^T z exactly in big.Rat. Rank deficiency is decided by exact
+// rank, cross-checking se's ErrUnobservable path.
+
+// measRow returns measurement i as an exact linear function of the
+// non-reference bus angles (column order = stateBuses), under topology t.
+// The sign conventions follow the physics directly: forward flow of line ln
+// is d*(theta_from - theta_to); backward flow its negative; consumption of
+// bus j is incoming minus outgoing flows.
+func measRowExact(g *grid.Grid, t grid.Topology, plan *measure.Plan, i int, stateIdx map[int]int) []*big.Rat {
+	n := len(stateIdx)
+	row := make([]*big.Rat, n)
+	for k := range row {
+		row[k] = new(big.Rat)
+	}
+	addAngle := func(bus int, c *big.Rat) {
+		if k, ok := stateIdx[bus]; ok {
+			row[k].Add(row[k], c)
+		}
+	}
+	addFlow := func(ln grid.Line, scale *big.Rat) {
+		if !t.Contains(ln.ID) {
+			return
+		}
+		d := new(big.Rat).Mul(ratFromFloat(ln.Admittance), scale)
+		addAngle(ln.From, d)
+		addAngle(ln.To, new(big.Rat).Neg(d))
+	}
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	kind, subj := plan.KindOf(i)
+	switch kind {
+	case measure.ForwardFlow:
+		addFlow(g.Lines[subj-1], one)
+	case measure.BackwardFlow:
+		addFlow(g.Lines[subj-1], negOne)
+	case measure.Consumption:
+		for _, ln := range g.Lines {
+			if ln.To == subj {
+				addFlow(ln, one) // incoming
+			}
+			if ln.From == subj {
+				addFlow(ln, negOne) // outgoing
+			}
+		}
+	}
+	return row
+}
+
+// wlsOracle solves the unweighted normal equations exactly. It returns
+// (theta per bus, true) or (nil, false) when the taken measurement set is
+// rank-deficient.
+func wlsOracle(g *grid.Grid, t grid.Topology, plan *measure.Plan, z *measure.Vector) ([]*big.Rat, bool) {
+	stateIdx := make(map[int]int)
+	var stateBuses []int
+	for _, bus := range g.Buses {
+		if bus.ID != g.RefBus {
+			stateIdx[bus.ID] = len(stateBuses)
+			stateBuses = append(stateBuses, bus.ID)
+		}
+	}
+	n := len(stateBuses)
+	var hRows [][]*big.Rat
+	var zVals []*big.Rat
+	for i := 1; i <= plan.M(); i++ {
+		if !plan.Taken[i] || !z.Present[i] {
+			continue
+		}
+		hRows = append(hRows, measRowExact(g, t, plan, i, stateIdx))
+		zVals = append(zVals, ratFromFloat(z.Values[i]))
+	}
+	h := newRatMat(len(hRows), n)
+	for r, row := range hRows {
+		for c := 0; c < n; c++ {
+			h.set(r, c, row[c])
+		}
+	}
+	if ratRank(h) < n {
+		return nil, false
+	}
+	// Normal equations.
+	gain := newRatMat(n, n)
+	rhs := make([]*big.Rat, n)
+	tmp := new(big.Rat)
+	for c := 0; c < n; c++ {
+		rhs[c] = new(big.Rat)
+		for r := 0; r < len(hRows); r++ {
+			tmp.Mul(h.at(r, c), zVals[r])
+			rhs[c].Add(rhs[c], tmp)
+		}
+		for c2 := 0; c2 < n; c2++ {
+			for r := 0; r < len(hRows); r++ {
+				tmp.Mul(h.at(r, c), h.at(r, c2))
+				gain.add(c, c2, tmp)
+			}
+		}
+	}
+	x, ok := ratSolve(gain, rhs)
+	if !ok {
+		return nil, false
+	}
+	theta := make([]*big.Rat, g.NumBuses())
+	for i := range theta {
+		theta[i] = new(big.Rat)
+	}
+	for k, bus := range stateBuses {
+		theta[bus-1].Set(x[k])
+	}
+	return theta, true
+}
+
+// checkWLS cross-validates se.Estimate against the exact normal-equations
+// oracle: once on consistent (noise-free) telemetry, once with a single
+// corrupted measurement (exercising the residual path). Empty return means
+// agreement.
+func checkWLS(sys *System, rng *rand.Rand) string {
+	g := sys.Grid
+	t := g.TrueTopology()
+	dispatch := proportionalDispatch(g)
+	if dispatch == nil {
+		return "" // generator guarantees this; defensive
+	}
+	pf, err := g.SolvePowerFlow(t, dispatch)
+	if err != nil {
+		return fmt.Sprintf("power flow for WLS check: %v", err)
+	}
+	z, err := sys.Plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		return fmt.Sprintf("measurement vector: %v", err)
+	}
+	if d := compareWLS(sys, t, z, "consistent"); d != "" {
+		return d
+	}
+	// Corrupt one taken measurement: both sides must still agree on the
+	// (now physically meaningless) least-squares solution.
+	zc := z.Clone()
+	var taken []int
+	for i := 1; i <= sys.Plan.M(); i++ {
+		if zc.Present[i] {
+			taken = append(taken, i)
+		}
+	}
+	if len(taken) > 0 {
+		i := taken[rng.Intn(len(taken))]
+		zc.Values[i] += 0.5 + rng.Float64()
+		if d := compareWLS(sys, t, zc, "corrupted"); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+func compareWLS(sys *System, t grid.Topology, z *measure.Vector, label string) string {
+	est := se.NewEstimator(sys.Grid, sys.Plan)
+	res, err := est.Estimate(t, z)
+	oracleTheta, observable := wlsOracle(sys.Grid, t, sys.Plan, z)
+	if errors.Is(err, se.ErrUnobservable) {
+		if observable {
+			return fmt.Sprintf("se.Estimate says unobservable, oracle rank is full (%s)", label)
+		}
+		return ""
+	}
+	if err != nil {
+		return fmt.Sprintf("se.Estimate error (%s): %v", label, err)
+	}
+	if !observable {
+		return fmt.Sprintf("se.Estimate produced an estimate, oracle says rank-deficient (%s)", label)
+	}
+	for i := range res.Theta {
+		want, _ := oracleTheta[i].Float64()
+		if relDiff(res.Theta[i], want) > 1e-6 {
+			return fmt.Sprintf("WLS theta[%d] mismatch (%s): se %.12f vs oracle %.12f", i+1, label, res.Theta[i], want)
+		}
+	}
+	return ""
+}

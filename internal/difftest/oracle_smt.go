@@ -1,0 +1,330 @@
+package difftest
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"gridattack/internal/smt"
+)
+
+// The SMT oracle generates random QF_LRA formulas over a private mini-AST,
+// renders them into the solver's public constructors, and independently
+// decides satisfiability by exhaustive enumeration: every assignment of the
+// boolean variables and every polarity pattern of the arithmetic atoms is
+// evaluated propositionally, and each propositionally-true pattern is
+// checked for arithmetic consistency by exact Fourier-Motzkin elimination
+// over big.Rat. For the handful of variables and atoms the harness
+// generates, the enumeration is exact and exhaustive.
+
+// fAtomSpec is one arithmetic atom sum(coeff_i * x_i) op rhs with small
+// integer coefficients (exactly representable everywhere).
+type fAtomSpec struct {
+	coeff []int64 // per real variable
+	op    smt.Op
+	rhs   int64 // rhs numerator; denominator is 2 (allows halves)
+}
+
+// fNode is a node of the oracle's private formula AST.
+type fNode struct {
+	kind     byte // 'b' boolvar, 'a' atom, '!' not, '&' and, '|' or
+	idx      int  // bool var or atom index
+	children []*fNode
+}
+
+// formulaCase is one generated differential test case.
+type formulaCase struct {
+	nBools int
+	nReals int
+	atoms  []fAtomSpec
+	root   *fNode
+}
+
+func (fc *formulaCase) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "formula{bools=%d reals=%d atoms=[", fc.nBools, fc.nReals)
+	for i, a := range fc.atoms {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%v %s %d/2", a.coeff, a.op, a.rhs)
+	}
+	fmt.Fprintf(&b, "] tree=%s}", fc.renderNode(fc.root))
+	return b.String()
+}
+
+func (fc *formulaCase) renderNode(n *fNode) string {
+	switch n.kind {
+	case 'b':
+		return fmt.Sprintf("b%d", n.idx)
+	case 'a':
+		return fmt.Sprintf("a%d", n.idx)
+	case '!':
+		return "!" + fc.renderNode(n.children[0])
+	default:
+		parts := make([]string, len(n.children))
+		for i, c := range n.children {
+			parts[i] = fc.renderNode(c)
+		}
+		return "(" + strings.Join(parts, string(n.kind)) + ")"
+	}
+}
+
+// genFormula generates a random formula case.
+func genFormula(rng *rand.Rand) *formulaCase {
+	fc := &formulaCase{
+		nBools: rng.Intn(3),     // 0..2
+		nReals: 1 + rng.Intn(3), // 1..3
+	}
+	nAtoms := 1 + rng.Intn(5) // 1..5
+	ops := []smt.Op{smt.OpLT, smt.OpLE, smt.OpEQ, smt.OpGE, smt.OpGT, smt.OpNE}
+	for i := 0; i < nAtoms; i++ {
+		a := fAtomSpec{coeff: make([]int64, fc.nReals), op: ops[rng.Intn(len(ops))], rhs: int64(rng.Intn(9) - 4)}
+		nz := false
+		for j := range a.coeff {
+			a.coeff[j] = int64(rng.Intn(7) - 3) // -3..3
+			nz = nz || a.coeff[j] != 0
+		}
+		if !nz {
+			a.coeff[rng.Intn(fc.nReals)] = 1
+		}
+		fc.atoms = append(fc.atoms, a)
+	}
+	fc.root = genNode(rng, fc, 3)
+	return fc
+}
+
+func genNode(rng *rand.Rand, fc *formulaCase, depth int) *fNode {
+	if depth == 0 || rng.Intn(3) == 0 {
+		// Leaf: atom or boolean variable.
+		if fc.nBools > 0 && rng.Intn(3) == 0 {
+			return &fNode{kind: 'b', idx: rng.Intn(fc.nBools)}
+		}
+		return &fNode{kind: 'a', idx: rng.Intn(len(fc.atoms))}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &fNode{kind: '!', children: []*fNode{genNode(rng, fc, depth-1)}}
+	case 1:
+		return &fNode{kind: '&', children: []*fNode{genNode(rng, fc, depth-1), genNode(rng, fc, depth-1)}}
+	default:
+		return &fNode{kind: '|', children: []*fNode{genNode(rng, fc, depth-1), genNode(rng, fc, depth-1)}}
+	}
+}
+
+// toSolver renders the case into a fresh solver, returning the solver and
+// the solver-side indices of the boolean and real variables.
+func (fc *formulaCase) toSolver() (*smt.Solver, []int, []int) {
+	s := smt.NewSolver()
+	bools := make([]int, fc.nBools)
+	for i := range bools {
+		bools[i] = s.NewBool(fmt.Sprintf("b%d", i))
+	}
+	reals := make([]int, fc.nReals)
+	for i := range reals {
+		reals[i] = s.NewReal(fmt.Sprintf("x%d", i))
+	}
+	var conv func(n *fNode) *smt.Formula
+	conv = func(n *fNode) *smt.Formula {
+		switch n.kind {
+		case 'b':
+			return smt.Bool(bools[n.idx])
+		case 'a':
+			a := fc.atoms[n.idx]
+			e := smt.NewLinExpr()
+			for j, c := range a.coeff {
+				if c != 0 {
+					e.AddInt(c, reals[j])
+				}
+			}
+			return smt.Atom(e, a.op, big.NewRat(a.rhs, 2))
+		case '!':
+			return smt.Not(conv(n.children[0]))
+		case '&':
+			return smt.And(conv(n.children[0]), conv(n.children[1]))
+		default:
+			return smt.Or(conv(n.children[0]), conv(n.children[1]))
+		}
+	}
+	s.Assert(conv(fc.root))
+	return s, bools, reals
+}
+
+// evalNode evaluates the formula under a boolean-variable assignment and an
+// atom polarity pattern (bit i of atomBits = truth of atom i).
+func evalNode(n *fNode, boolBits, atomBits uint) bool {
+	switch n.kind {
+	case 'b':
+		return boolBits&(1<<n.idx) != 0
+	case 'a':
+		return atomBits&(1<<n.idx) != 0
+	case '!':
+		return !evalNode(n.children[0], boolBits, atomBits)
+	case '&':
+		return evalNode(n.children[0], boolBits, atomBits) && evalNode(n.children[1], boolBits, atomBits)
+	default:
+		return evalNode(n.children[0], boolBits, atomBits) || evalNode(n.children[1], boolBits, atomBits)
+	}
+}
+
+// atomConstraints returns the inequality sets (disjunctive branches) that
+// encode atom a holding (pol=true) or failing (pol=false). EQ-true and
+// NE-false contribute two conjunctive inequalities; EQ-false and NE-true
+// split into two branches (< or >).
+func atomConstraints(a fAtomSpec, nReals int, pol bool) [][]*ineq {
+	mk := func(sign int64, strict bool) *ineq {
+		// sign=+1: sum c x <= rhs ; sign=-1: -sum c x <= -rhs (i.e. >=).
+		q := newIneq(nReals)
+		for j, c := range a.coeff {
+			q.coeff[j].SetInt64(sign * c)
+		}
+		q.rhs.SetFrac64(sign*a.rhs, 2)
+		q.strict = strict
+		return q
+	}
+	op := a.op
+	if !pol {
+		// Negate the operator.
+		switch op {
+		case smt.OpLT:
+			op = smt.OpGE
+		case smt.OpLE:
+			op = smt.OpGT
+		case smt.OpGE:
+			op = smt.OpLT
+		case smt.OpGT:
+			op = smt.OpLE
+		case smt.OpEQ:
+			op = smt.OpNE
+		case smt.OpNE:
+			op = smt.OpEQ
+		}
+	}
+	switch op {
+	case smt.OpLE:
+		return [][]*ineq{{mk(1, false)}}
+	case smt.OpLT:
+		return [][]*ineq{{mk(1, true)}}
+	case smt.OpGE:
+		return [][]*ineq{{mk(-1, false)}}
+	case smt.OpGT:
+		return [][]*ineq{{mk(-1, true)}}
+	case smt.OpEQ:
+		return [][]*ineq{{mk(1, false), mk(-1, false)}}
+	default: // OpNE: < or >
+		return [][]*ineq{{mk(1, true)}, {mk(-1, true)}}
+	}
+}
+
+// oracleSat decides the case's satisfiability by exhaustive enumeration +
+// Fourier-Motzkin.
+func (fc *formulaCase) oracleSat() bool {
+	nA := len(fc.atoms)
+	for boolBits := uint(0); boolBits < 1<<fc.nBools; boolBits++ {
+		for atomBits := uint(0); atomBits < 1<<nA; atomBits++ {
+			if !evalNode(fc.root, boolBits, atomBits) {
+				continue
+			}
+			// The pattern is propositionally satisfying; check that the atom
+			// polarities are arithmetically consistent. Branch over the
+			// disjunctive encodings (EQ-false / NE-true).
+			branches := [][]*ineq{{}}
+			for i, a := range fc.atoms {
+				alts := atomConstraints(a, fc.nReals, atomBits&(1<<i) != 0)
+				var next [][]*ineq
+				for _, base := range branches {
+					for _, alt := range alts {
+						merged := make([]*ineq, 0, len(base)+len(alt))
+						merged = append(merged, base...)
+						merged = append(merged, alt...)
+						next = append(next, merged)
+					}
+				}
+				branches = next
+			}
+			for _, cons := range branches {
+				if fmFeasible(cons, fc.nReals) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkSMT runs one SMT differential case: solver verdict vs. enumeration
+// oracle, plus — on Sat — an exact replay of the solver's model against the
+// oracle AST. It returns a non-empty detail string on discrepancy.
+func checkSMT(rng *rand.Rand) string {
+	fc := genFormula(rng)
+	s, bools, reals := fc.toSolver()
+	res, err := s.Check()
+	if err != nil {
+		return fmt.Sprintf("solver error on %s: %v", fc, err)
+	}
+	want := fc.oracleSat()
+	if (res == smt.Sat) != want {
+		return fmt.Sprintf("verdict mismatch: solver=%v oracle-sat=%v on %s", res, want, fc)
+	}
+	if res == smt.Sat {
+		if d := fc.checkModel(s, bools, reals); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// checkModel replays the solver's satisfying assignment through the
+// oracle's AST with exact arithmetic.
+func (fc *formulaCase) checkModel(s *smt.Solver, bools, reals []int) string {
+	if !s.HasModel() {
+		return fmt.Sprintf("sat without a model on %s", fc)
+	}
+	xs := make([]*big.Rat, fc.nReals)
+	for i := range xs {
+		xs[i] = s.RealValue(reals[i])
+		if xs[i] == nil {
+			xs[i] = new(big.Rat)
+		}
+	}
+	var boolBits, atomBits uint
+	for i := 0; i < fc.nBools; i++ {
+		if s.BoolValue(bools[i]) {
+			boolBits |= 1 << i
+		}
+	}
+	v := new(big.Rat)
+	tmp := new(big.Rat)
+	for i, a := range fc.atoms {
+		v.SetInt64(0)
+		for j, c := range a.coeff {
+			tmp.SetInt64(c)
+			tmp.Mul(tmp, xs[j])
+			v.Add(v, tmp)
+		}
+		cmp := v.Cmp(big.NewRat(a.rhs, 2))
+		var holds bool
+		switch a.op {
+		case smt.OpLT:
+			holds = cmp < 0
+		case smt.OpLE:
+			holds = cmp <= 0
+		case smt.OpEQ:
+			holds = cmp == 0
+		case smt.OpGE:
+			holds = cmp >= 0
+		case smt.OpGT:
+			holds = cmp > 0
+		default:
+			holds = cmp != 0
+		}
+		if holds {
+			atomBits |= 1 << i
+		}
+	}
+	if !evalNode(fc.root, boolBits, atomBits) {
+		return fmt.Sprintf("solver model does not satisfy the formula under exact evaluation: %s", fc)
+	}
+	return ""
+}

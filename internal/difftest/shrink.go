@@ -1,0 +1,261 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/textio"
+)
+
+// Shrink greedily minimizes a failing system while the property keeps
+// failing: it tries, to a fixpoint, removing lines, removing (and
+// renumbering past) buses, dropping loads and generators, and rounding
+// every numeric parameter to coarse values. The result is the smallest
+// system the greedy pass reaches — typically a handful of buses — which is
+// what gets written as a regression fixture.
+//
+// fails must report true for the input system (and for any candidate that
+// still exhibits the bug). Candidates are always Validate-checked before
+// being offered, so fails never sees a malformed grid.
+func Shrink(sys *System, fails func(*System) bool) *System {
+	cur := cloneSystem(sys)
+	if !fails(cur) {
+		return cur // not reproducible; nothing to minimize
+	}
+	for {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			// Candidates must stay well-formed AND connected: a shrink step
+			// that splits the network would let every oracle fail for the
+			// degenerate reason instead of the bug being minimized.
+			if cand.Grid.Validate() != nil || !cand.Grid.Connected(cand.Grid.TrueTopology()) {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break // restart candidate generation from the smaller system
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func cloneSystem(sys *System) *System {
+	return &System{
+		Grid:   sys.Grid.Clone(),
+		Plan:   measure.FullPlan(sys.Grid.NumLines(), sys.Grid.NumBuses()),
+		Traits: append([]string(nil), sys.Traits...),
+	}
+}
+
+// shrinkCandidates proposes one-step simplifications of the system, most
+// aggressive first. Plans are regenerated as full plans — structural
+// shrinking cannot preserve a partial plan's measurement numbering.
+func shrinkCandidates(sys *System) []*System {
+	var out []*System
+	g := sys.Grid
+
+	// Remove each bus (with its lines, loads, generators; buses above it
+	// renumber down).
+	for busID := 1; busID <= g.NumBuses(); busID++ {
+		if g.NumBuses() <= 2 {
+			break
+		}
+		if ng := removeBus(g, busID); ng != nil {
+			out = append(out, wrap(ng, sys.Traits))
+		}
+	}
+	// Remove each line (lines renumber down).
+	for lineID := 1; lineID <= g.NumLines(); lineID++ {
+		ng := g.Clone()
+		ng.Lines = append(ng.Lines[:lineID-1:lineID-1], ng.Lines[lineID:]...)
+		for i := range ng.Lines {
+			ng.Lines[i].ID = i + 1
+		}
+		out = append(out, wrap(ng, sys.Traits))
+	}
+	// Remove each load / each generator (keep at least one generator).
+	for i := range g.Loads {
+		ng := g.Clone()
+		ng.Buses[ng.Loads[i].Bus-1].HasLoad = false
+		ng.Loads = append(ng.Loads[:i:i], ng.Loads[i+1:]...)
+		out = append(out, wrap(ng, sys.Traits))
+	}
+	if len(g.Generators) > 1 {
+		for i := range g.Generators {
+			ng := g.Clone()
+			ng.Buses[ng.Generators[i].Bus-1].HasGenerator = false
+			ng.Generators = append(ng.Generators[:i:i], ng.Generators[i+1:]...)
+			out = append(out, wrap(ng, sys.Traits))
+		}
+	}
+	// Coarsen numerics: unit admittances, round capacities up to halves,
+	// zero fixed costs, round betas to integers. (Rounding capacities up
+	// keeps feasibility monotone; the other roundings are heuristics — the
+	// fails re-check decides.)
+	rounded := g.Clone()
+	changed := false
+	for i := range rounded.Lines {
+		if rounded.Lines[i].Admittance != 1 {
+			rounded.Lines[i].Admittance = 1
+			changed = true
+		}
+		if c := math.Ceil(rounded.Lines[i].Capacity*2) / 2; c != rounded.Lines[i].Capacity {
+			rounded.Lines[i].Capacity = c
+			changed = true
+		}
+	}
+	for i := range rounded.Generators {
+		if rounded.Generators[i].Alpha != 0 {
+			rounded.Generators[i].Alpha = 0
+			changed = true
+		}
+		if b := math.Round(rounded.Generators[i].Beta); b != rounded.Generators[i].Beta {
+			rounded.Generators[i].Beta = b
+			changed = true
+		}
+		if m := math.Ceil(rounded.Generators[i].MaxP*100) / 100; m != rounded.Generators[i].MaxP {
+			rounded.Generators[i].MaxP = m
+			changed = true
+		}
+	}
+	for i := range rounded.Loads {
+		p := math.Round(rounded.Loads[i].P*100) / 100
+		if p > 0 && p != rounded.Loads[i].P {
+			rounded.Loads[i].P = p
+			rounded.Loads[i].MaxP = p * 1.5
+			rounded.Loads[i].MinP = p * 0.5
+			changed = true
+		}
+	}
+	if changed {
+		out = append(out, wrap(rounded, sys.Traits))
+	}
+	return out
+}
+
+func wrap(g *grid.Grid, traits []string) *System {
+	return &System{Grid: g, Plan: measure.FullPlan(g.NumLines(), g.NumBuses()), Traits: traits}
+}
+
+// removeBus deletes a bus and everything attached to it, renumbering the
+// remaining buses and lines contiguously. Returns nil when the bus is the
+// last generator's home (the grid would become generator-free).
+func removeBus(g *grid.Grid, busID int) *grid.Grid {
+	gensLeft := 0
+	for _, gen := range g.Generators {
+		if gen.Bus != busID {
+			gensLeft++
+		}
+	}
+	if gensLeft == 0 {
+		return nil
+	}
+	ng := &grid.Grid{Name: g.Name}
+	renum := func(id int) int {
+		if id > busID {
+			return id - 1
+		}
+		return id
+	}
+	for _, b := range g.Buses {
+		if b.ID == busID {
+			continue
+		}
+		nb := b
+		nb.ID = renum(b.ID)
+		ng.Buses = append(ng.Buses, nb)
+	}
+	for _, ln := range g.Lines {
+		if ln.From == busID || ln.To == busID {
+			continue
+		}
+		nl := ln
+		nl.ID = len(ng.Lines) + 1
+		nl.From = renum(ln.From)
+		nl.To = renum(ln.To)
+		ng.Lines = append(ng.Lines, nl)
+	}
+	for _, gen := range g.Generators {
+		if gen.Bus == busID {
+			continue
+		}
+		gen.Bus = renum(gen.Bus)
+		ng.Generators = append(ng.Generators, gen)
+	}
+	for _, ld := range g.Loads {
+		if ld.Bus == busID {
+			continue
+		}
+		ld.Bus = renum(ld.Bus)
+		ng.Loads = append(ng.Loads, ld)
+	}
+	if g.RefBus == busID {
+		ng.RefBus = 1
+	} else {
+		ng.RefBus = renum(g.RefBus)
+	}
+	return ng
+}
+
+// WriteFixture renders the system in the paper's text format (parsable by
+// internal/textio) under dir, prefixed with a comment block recording the
+// violated property and the reproducing seed. It returns the file path.
+//
+// The comment block is written before the first section header; textio's
+// section detection scans headers by keyword, so the fixed "violated"/
+// "reproduce" phrasing (and not the free-form detail, which is sanitized)
+// keeps the block from being mistaken for a data section.
+func WriteFixture(dir, layer string, seed int64, detail string, sys *System) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("shrunk-%s-%d.txt", strings.ReplaceAll(layer, "/", "-"), seed)
+	path := filepath.Join(dir, name)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# difftest fixture: %s\n", sanitizeComment(detail))
+	fmt.Fprintf(&buf, "# reproduce: go run ./cmd/difftest -n 1 -seed-exact %d -layers %s\n", seed, strings.SplitN(layer, "/", 2)[0])
+	in := &textio.Input{
+		Grid:               sys.Grid,
+		Plan:               sys.Plan,
+		CostConstraint:     0,
+		MinIncreasePercent: 1,
+	}
+	if err := textio.Write(&buf, in); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeComment strips the keywords textio's section sniffing reacts to,
+// so a free-form failure description cannot flip the parser into a data
+// section mid-header-block.
+func sanitizeComment(s string) string {
+	s = strings.NewReplacer(
+		"topology", "topo.",
+		"line information", "line info",
+		"resource", "res.",
+		"measurement", "meas.",
+		"bus type", "bus-kind",
+		"generator", "gen.",
+		"load", "ld.",
+		"cost", "price",
+		"\n", " ",
+	).Replace(strings.ToLower(s))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -118,6 +118,17 @@ func (f *Factors) FlowsAfterOutage(pre []float64, outaged int) ([]float64, error
 	if len(pre) != f.grid.NumLines() {
 		return nil, fmt.Errorf("dist: flow vector length %d, want %d", len(pre), f.grid.NumLines())
 	}
+	if !f.topo.Contains(outaged) {
+		return nil, fmt.Errorf("dist: outaged line %d not in the topology", outaged)
+	}
+	// A bridge outage islands the network; refuse up front rather than
+	// relying on a monitored line's LODF to hit the singular denominator —
+	// when the outaged line is the only line, the loop below would otherwise
+	// return a spurious all-zero "prediction".
+	lnO := f.grid.Lines[outaged-1]
+	if den := 1 - (f.PTDF(outaged, lnO.From) - f.PTDF(outaged, lnO.To)); math.Abs(den) < 1e-9 {
+		return nil, ErrRadial
+	}
 	out := make([]float64, len(pre))
 	for _, ln := range f.grid.Lines {
 		if ln.ID == outaged {

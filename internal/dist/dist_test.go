@@ -204,3 +204,49 @@ func TestLODFConsumptionInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFlowsAfterOutageBridge: the outage of a bridge line islands part of
+// the network, so FlowsAfterOutage must refuse with ErrRadial even when no
+// other monitored line exists to trip the per-line LODF check. (Found by the
+// internal/difftest harness on a shrunk two-bus system.)
+func TestFlowsAfterOutageBridge(t *testing.T) {
+	g := &grid.Grid{
+		Name: "two-bus-bridge",
+		Buses: []grid.Bus{
+			{ID: 1, HasGenerator: true},
+			{ID: 2, HasLoad: true},
+		},
+		Lines: []grid.Line{{
+			ID: 1, From: 1, To: 2, Admittance: 1, Capacity: 2,
+			InService: true, AdmittanceKnown: true,
+		}},
+		Generators: []grid.Generator{{Bus: 1, MaxP: 2, Beta: 1}},
+		Loads:      []grid.Load{{Bus: 2, P: 1, MaxP: 1.5, MinP: 0.5}},
+		RefBus:     1,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	f, err := New(g, g.TrueTopology())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := f.FlowsAfterOutage([]float64{1}, 1); err != ErrRadial {
+		t.Fatalf("FlowsAfterOutage(bridge) err = %v, want ErrRadial", err)
+	}
+}
+
+// TestFlowsAfterOutageOutsideTopology: an outage of a line that is not in
+// the factor topology is a caller error, not a silent no-op.
+func TestFlowsAfterOutageOutsideTopology(t *testing.T) {
+	g := cases.Paper5Bus()
+	top := g.TrueTopology().WithExcluded(2)
+	f, err := New(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := make([]float64, g.NumLines())
+	if _, err := f.FlowsAfterOutage(pre, 2); err == nil {
+		t.Fatal("FlowsAfterOutage accepted an out-of-topology outage")
+	}
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+// fuzzGrid decodes an arbitrary small grid from fuzz bytes: bus count,
+// then (from, to, admittance, capacity) per line. The decoder is total —
+// any byte string yields a candidate grid — so the fuzzer explores
+// disconnected, parallel-circuit, and self-loop-adjacent shapes; Validate
+// decides which are well-formed.
+func fuzzGrid(data []byte) (*grid.Grid, []byte) {
+	pop := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	n := 2 + int(pop())%5 // 2..6 buses
+	g := &grid.Grid{Name: "fuzz", RefBus: 1}
+	for i := 1; i <= n; i++ {
+		g.Buses = append(g.Buses, grid.Bus{ID: i})
+	}
+	nl := 1 + int(pop())%8
+	for i := 0; i < nl; i++ {
+		from := 1 + int(pop())%n
+		to := 1 + int(pop())%n
+		if from == to {
+			continue
+		}
+		g.Lines = append(g.Lines, grid.Line{
+			ID:         len(g.Lines) + 1,
+			From:       from,
+			To:         to,
+			Admittance: 0.5 + float64(pop()%32)/8,
+			Capacity:   1 + float64(pop()%8)/4,
+			InService:  true,
+		})
+	}
+	g.Buses[0].HasGenerator = true
+	g.Generators = []grid.Generator{{Bus: 1, MaxP: 3, Beta: 10}}
+	if n > 1 {
+		g.Buses[1].HasLoad = true
+		g.Loads = []grid.Load{{Bus: 2, P: 0.5, MaxP: 1, MinP: 0.1}}
+	}
+	return g, data
+}
+
+// FuzzFactors: building distribution factors for an arbitrary small grid
+// must never panic, and on every accepted grid the PTDF flow reconstruction
+// must agree with the direct power-flow solve. FlowsAfterOutage must refuse
+// (ErrRadial) exactly the outages that disconnect the network.
+func FuzzFactors(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 4, 1, 2, 8, 4, 2, 3, 8, 4, 3, 1, 8, 4, 1, 2, 8, 4}) // ring + parallel line
+	f.Add([]byte{4, 5, 1, 2, 8, 4, 2, 3, 8, 4, 3, 4, 8, 4, 4, 5, 8, 4}) // degree-2 chain
+	f.Add([]byte{0, 1, 1, 2, 8, 4, 16, 32})                             // two-bus bridge
+	f.Add([]byte{4, 2, 1, 2, 8, 4, 3, 4, 8, 4})                         // disconnected halves
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, rest := fuzzGrid(data)
+		if g.Validate() != nil {
+			return
+		}
+		top := g.TrueTopology()
+		fac, err := New(g, top)
+		if err != nil {
+			return // disconnected or singular: rejection is the contract
+		}
+		// Balanced injections from leftover bytes.
+		inj := make([]float64, g.NumBuses())
+		var sum float64
+		for i := 0; i < len(inj)-1; i++ {
+			var b byte
+			if i < len(rest) {
+				b = rest[i]
+			}
+			inj[i] = float64(int(b)-128) / 128
+			sum += inj[i]
+		}
+		inj[len(inj)-1] = -sum
+		flows, err := fac.Flows(inj)
+		if err != nil {
+			t.Fatalf("Flows on accepted factors: %v", err)
+		}
+		pf, err := g.SolvePowerFlowInjections(top, inj)
+		if err != nil {
+			t.Fatalf("power flow on accepted topology: %v", err)
+		}
+		for i := range flows {
+			if math.IsNaN(flows[i]) || math.IsInf(flows[i], 0) {
+				t.Fatalf("non-finite PTDF flow on line %d: %v", i+1, flows[i])
+			}
+			if math.Abs(flows[i]-pf.LineFlow[i]) > 1e-6 {
+				t.Fatalf("line %d: PTDF flow %v != direct solve %v", i+1, flows[i], pf.LineFlow[i])
+			}
+		}
+		for _, out := range top.Lines() {
+			post, err := fac.FlowsAfterOutage(pf.LineFlow, out)
+			connected := g.Connected(top.WithExcluded(out))
+			if err != nil {
+				if err == ErrRadial && connected {
+					t.Fatalf("outage %d: ErrRadial but network stays connected", out)
+				}
+				continue
+			}
+			if !connected {
+				t.Fatalf("outage %d: predicted flows for a network-splitting outage", out)
+			}
+			for i := range post {
+				if math.IsNaN(post[i]) || math.IsInf(post[i], 0) {
+					t.Fatalf("outage %d: non-finite post-outage flow on line %d", out, i+1)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+// edgeGrid builds the small pathological grids shared by the edge-case
+// tables below.
+func edgeGrid(shape string) *grid.Grid {
+	line := func(id, from, to int, adm float64) grid.Line {
+		return grid.Line{ID: id, From: from, To: to, Admittance: adm, Capacity: 5, InService: true}
+	}
+	switch shape {
+	case "parallel-lines":
+		// Two circuits between the same bus pair: flows split by admittance.
+		return &grid.Grid{
+			Name: "parallel",
+			Buses: []grid.Bus{
+				{ID: 1, HasGenerator: true},
+				{ID: 2, HasLoad: true},
+			},
+			Lines:      []grid.Line{line(1, 1, 2, 1), line(2, 1, 2, 3)},
+			Generators: []grid.Generator{{Bus: 1, MaxP: 2, Beta: 10}},
+			Loads:      []grid.Load{{Bus: 2, P: 1, MaxP: 1.5, MinP: 0.5}},
+			RefBus:     1,
+		}
+	case "zero-injection":
+		// Middle bus has neither generation nor load: its consumption
+		// measurement must be exactly the zero flow balance.
+		return &grid.Grid{
+			Name: "zero-inj",
+			Buses: []grid.Bus{
+				{ID: 1, HasGenerator: true},
+				{ID: 2},
+				{ID: 3, HasLoad: true},
+			},
+			Lines:      []grid.Line{line(1, 1, 2, 2), line(2, 2, 3, 2)},
+			Generators: []grid.Generator{{Bus: 1, MaxP: 2, Beta: 10}},
+			Loads:      []grid.Load{{Bus: 3, P: 0.8, MaxP: 1.2, MinP: 0.4}},
+			RefBus:     1,
+		}
+	case "isolated-bus":
+		// Bus 3 has no incident line at all; the plan must still index its
+		// consumption coherently even though no flow can reach it.
+		return &grid.Grid{
+			Name: "isolated",
+			Buses: []grid.Bus{
+				{ID: 1, HasGenerator: true},
+				{ID: 2, HasLoad: true},
+				{ID: 3},
+			},
+			Lines:      []grid.Line{line(1, 1, 2, 1)},
+			Generators: []grid.Generator{{Bus: 1, MaxP: 2, Beta: 10}},
+			Loads:      []grid.Load{{Bus: 2, P: 0.5, MaxP: 1, MinP: 0.2}},
+			RefBus:     1,
+		}
+	}
+	panic("unknown shape " + shape)
+}
+
+// TestPlanIndexingEdgeShapes: on every pathological shape the plan's index
+// arithmetic (ForwardIndex/BackwardIndex/ConsumptionIndex <-> KindOf/BusOf)
+// must stay a bijection onto 1..M.
+func TestPlanIndexingEdgeShapes(t *testing.T) {
+	for _, shape := range []string{"parallel-lines", "zero-injection", "isolated-bus"} {
+		t.Run(shape, func(t *testing.T) {
+			g := edgeGrid(shape)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("grid: %v", err)
+			}
+			p := FullPlan(g.NumLines(), g.NumBuses())
+			if err := p.Validate(g); err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			seen := make(map[int]bool)
+			for _, ln := range g.Lines {
+				fi, bi := p.ForwardIndex(ln.ID), p.BackwardIndex(ln.ID)
+				if k, s := p.KindOf(fi); k != ForwardFlow || s != ln.ID {
+					t.Errorf("KindOf(forward %d) = %v/%d", ln.ID, k, s)
+				}
+				if k, s := p.KindOf(bi); k != BackwardFlow || s != ln.ID {
+					t.Errorf("KindOf(backward %d) = %v/%d", ln.ID, k, s)
+				}
+				if got := p.BusOf(fi, g); got != ln.From {
+					t.Errorf("BusOf(forward %d) = %d, want from-bus %d", ln.ID, got, ln.From)
+				}
+				if got := p.BusOf(bi, g); got != ln.To {
+					t.Errorf("BusOf(backward %d) = %d, want to-bus %d", ln.ID, got, ln.To)
+				}
+				seen[fi], seen[bi] = true, true
+			}
+			for _, b := range g.Buses {
+				ci := p.ConsumptionIndex(b.ID)
+				if k, s := p.KindOf(ci); k != Consumption || s != b.ID {
+					t.Errorf("KindOf(consumption %d) = %v/%d", b.ID, k, s)
+				}
+				if got := p.BusOf(ci, g); got != b.ID {
+					t.Errorf("BusOf(consumption %d) = %d", b.ID, got)
+				}
+				seen[ci] = true
+			}
+			if len(seen) != p.M() {
+				t.Errorf("index coverage: %d distinct indices, want M=%d", len(seen), p.M())
+			}
+		})
+	}
+}
+
+// TestFromPowerFlowEdgeShapes: telemetry synthesized from a power flow must
+// obey the physics on the edge shapes — parallel circuits split by
+// admittance, zero-injection buses read exactly zero.
+func TestFromPowerFlowEdgeShapes(t *testing.T) {
+	t.Run("parallel-lines", func(t *testing.T) {
+		g := edgeGrid("parallel-lines")
+		pf, err := g.SolvePowerFlow(g.TrueTopology(), []float64{1, 0})
+		if err != nil {
+			t.Fatalf("power flow: %v", err)
+		}
+		p := FullPlan(g.NumLines(), g.NumBuses())
+		z, err := p.FromPowerFlow(g, pf, 0, nil)
+		if err != nil {
+			t.Fatalf("FromPowerFlow: %v", err)
+		}
+		f1 := z.Values[p.ForwardIndex(1)]
+		f2 := z.Values[p.ForwardIndex(2)]
+		// Admittances 1 and 3 across the same voltage angle difference: the
+		// stiffer circuit carries exactly three times the flow.
+		if math.Abs(f2-3*f1) > 1e-9 {
+			t.Errorf("parallel split: flows %v and %v, want 1:3 ratio", f1, f2)
+		}
+		if math.Abs((f1+f2)-1) > 1e-9 {
+			t.Errorf("parallel circuits carry %v total, want the full 1.0 transfer", f1+f2)
+		}
+		// Backward flow telemetry is the exact negation.
+		if got := z.Values[p.BackwardIndex(1)]; math.Abs(got+f1) > 1e-12 {
+			t.Errorf("backward flow %v, want %v", got, -f1)
+		}
+	})
+	t.Run("zero-injection", func(t *testing.T) {
+		g := edgeGrid("zero-injection")
+		pf, err := g.SolvePowerFlow(g.TrueTopology(), []float64{0.8, 0, 0})
+		if err != nil {
+			t.Fatalf("power flow: %v", err)
+		}
+		p := FullPlan(g.NumLines(), g.NumBuses())
+		z, err := p.FromPowerFlow(g, pf, 0, nil)
+		if err != nil {
+			t.Fatalf("FromPowerFlow: %v", err)
+		}
+		if got := z.Values[p.ConsumptionIndex(2)]; math.Abs(got) > 1e-9 {
+			t.Errorf("zero-injection bus consumption reads %v, want 0", got)
+		}
+		if got := z.Values[p.ConsumptionIndex(3)]; math.Abs(got-0.8) > 1e-9 {
+			t.Errorf("load bus consumption reads %v, want 0.8", got)
+		}
+	})
+	t.Run("isolated-bus", func(t *testing.T) {
+		// The isolated bus disconnects the network, so the power-flow solve
+		// must refuse; plan construction and validation still work.
+		g := edgeGrid("isolated-bus")
+		if _, err := g.SolvePowerFlow(g.TrueTopology(), []float64{0.5, 0, 0}); err == nil {
+			t.Fatal("power flow accepted a grid with an isolated bus")
+		}
+		p := FullPlan(g.NumLines(), g.NumBuses())
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("plan on isolated-bus grid: %v", err)
+		}
+	})
+}

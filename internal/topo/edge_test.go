@@ -1,0 +1,136 @@
+package topo
+
+import (
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+// TestProcessorEdgeShapes drives the topology processor through the
+// pathological shapes the differential harness generates: parallel circuits
+// between one bus pair, a zero-injection through-bus, an isolated bus, and
+// a reference bus cut off into its own island.
+func TestProcessorEdgeShapes(t *testing.T) {
+	line := func(id, from, to int, core bool) grid.Line {
+		return grid.Line{ID: id, From: from, To: to, Admittance: 1, Capacity: 5, InService: true, Core: core}
+	}
+	base := func(lines []grid.Line, nBuses int) *grid.Grid {
+		g := &grid.Grid{Name: "edge", RefBus: 1, Lines: lines}
+		for i := 1; i <= nBuses; i++ {
+			g.Buses = append(g.Buses, grid.Bus{ID: i})
+		}
+		g.Buses[0].HasGenerator = true
+		g.Generators = []grid.Generator{{Bus: 1, MaxP: 3, Beta: 10}}
+		return g
+	}
+
+	tests := []struct {
+		name string
+		grid *grid.Grid
+		// open lists line IDs whose telemetered status is flipped to open.
+		open []int
+		// wantMapped / wantUnmapped assert individual lines after Map.
+		wantMapped   []int
+		wantUnmapped []int
+		wantConnect  bool
+		wantExcluded []int
+	}{
+		{
+			name:         "parallel-lines-one-open",
+			grid:         base([]grid.Line{line(1, 1, 2, false), line(2, 1, 2, false)}, 2),
+			open:         []int{2},
+			wantMapped:   []int{1},
+			wantUnmapped: []int{2},
+			wantConnect:  true, // the twin circuit keeps the pair connected
+			wantExcluded: []int{2},
+		},
+		{
+			name:         "parallel-lines-both-open",
+			grid:         base([]grid.Line{line(1, 1, 2, false), line(2, 1, 2, false)}, 2),
+			open:         []int{1, 2},
+			wantUnmapped: []int{1, 2},
+			wantConnect:  false,
+			wantExcluded: []int{1, 2},
+		},
+		{
+			name: "zero-injection-through-bus",
+			grid: base([]grid.Line{line(1, 1, 2, false), line(2, 2, 3, false)}, 3),
+			// No opens: a bus with no generation/load is topologically
+			// ordinary; the chain stays connected through it.
+			wantMapped:  []int{1, 2},
+			wantConnect: true,
+		},
+		{
+			name:         "isolated-bus",
+			grid:         base([]grid.Line{line(1, 1, 2, false), line(2, 2, 3, false)}, 3),
+			open:         []int{2},
+			wantMapped:   []int{1},
+			wantUnmapped: []int{2},
+			wantConnect:  false, // bus 3 has no remaining incident line
+			wantExcluded: []int{2},
+		},
+		{
+			name:         "reference-bus-only-island",
+			grid:         base([]grid.Line{line(1, 1, 2, false), line(2, 2, 3, false), line(3, 3, 1, false)}, 3),
+			open:         []int{1, 3},
+			wantMapped:   []int{2},
+			wantUnmapped: []int{1, 3},
+			wantConnect:  false, // the reference bus is alone in its island
+			wantExcluded: []int{1, 3},
+		},
+		{
+			name:         "core-line-ignores-open-status",
+			grid:         base([]grid.Line{line(1, 1, 2, true), line(2, 1, 2, false)}, 2),
+			open:         []int{1, 2},
+			wantMapped:   []int{1}, // core lines are never unmapped
+			wantUnmapped: []int{2},
+			wantConnect:  true,
+			wantExcluded: []int{2},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.grid.Validate(); err != nil {
+				t.Fatalf("grid: %v", err)
+			}
+			r := TrueReport(tc.grid)
+			for _, id := range tc.open {
+				if err := r.Tamper(tc.grid, id, false); err != nil {
+					t.Fatalf("Tamper(%d): %v", id, err)
+				}
+			}
+			p := NewProcessor(tc.grid)
+			mapped, err := p.Map(r)
+			if err != nil {
+				t.Fatalf("Map: %v", err)
+			}
+			for _, id := range tc.wantMapped {
+				if !mapped.Contains(id) {
+					t.Errorf("line %d not mapped, want mapped", id)
+				}
+			}
+			for _, id := range tc.wantUnmapped {
+				if mapped.Contains(id) {
+					t.Errorf("line %d mapped, want unmapped", id)
+				}
+			}
+			if got := tc.grid.Connected(mapped); got != tc.wantConnect {
+				t.Errorf("Connected = %v, want %v", got, tc.wantConnect)
+			}
+			diff := p.Compare(mapped)
+			if len(diff.Excluded) != len(tc.wantExcluded) {
+				t.Errorf("Excluded = %v, want %v", diff.Excluded, tc.wantExcluded)
+			} else {
+				for i, id := range tc.wantExcluded {
+					if diff.Excluded[i] != id {
+						t.Errorf("Excluded = %v, want %v", diff.Excluded, tc.wantExcluded)
+						break
+					}
+				}
+			}
+			if len(diff.Included) != 0 {
+				t.Errorf("Included = %v, want none (all lines in service)", diff.Included)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package topo
+
+import (
+	"testing"
+
+	"gridattack/internal/grid"
+)
+
+// fuzzChainGrid builds an n-bus chain whose line attributes (in-service,
+// core, status-secured) come from fuzz bytes, so the processor is exercised
+// across every attribute combination.
+func fuzzChainGrid(n int, attrs []byte) *grid.Grid {
+	g := &grid.Grid{Name: "fuzz-chain", RefBus: 1}
+	for i := 1; i <= n; i++ {
+		g.Buses = append(g.Buses, grid.Bus{ID: i})
+	}
+	for i := 1; i < n; i++ {
+		var a byte
+		if i-1 < len(attrs) {
+			a = attrs[i-1]
+		}
+		g.Lines = append(g.Lines, grid.Line{
+			ID:            i,
+			From:          i,
+			To:            i + 1,
+			Admittance:    1,
+			Capacity:      2,
+			InService:     a&1 != 0,
+			Core:          a&2 != 0,
+			StatusSecured: a&4 != 0,
+		})
+	}
+	g.Buses[0].HasGenerator = true
+	g.Generators = []grid.Generator{{Bus: 1, MaxP: 3, Beta: 10}}
+	return g
+}
+
+// FuzzProcessorMap: compiling arbitrary status telemetry must never panic,
+// and the mapped topology must satisfy the processor's contract exactly —
+// a line is mapped iff it is core or its reported status is closed, and
+// mapping the true report must reproduce the true topology (empty Diff).
+func FuzzProcessorMap(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 1, 1}, []byte{1, 1, 1})
+	f.Add([]byte{3, 2, 5, 7}, []byte{0, 1, 0, 1})
+	f.Add([]byte{1}, []byte{255})
+	f.Fuzz(func(t *testing.T, attrs, closedBits []byte) {
+		n := 2 + len(attrs)%6
+		g := fuzzChainGrid(n, attrs)
+		p := NewProcessor(g)
+
+		// True report maps to the true topology, modulo core lines that are
+		// out of service (the processor keeps core lines mapped regardless).
+		mapped, err := p.Map(TrueReport(g))
+		if err != nil {
+			t.Fatalf("Map(TrueReport): %v", err)
+		}
+		for _, ln := range g.Lines {
+			want := ln.InService || ln.Core
+			if got := mapped.Contains(ln.ID); got != want {
+				t.Fatalf("true-report map: line %d mapped=%v, want %v", ln.ID, got, want)
+			}
+		}
+		diff := p.Compare(mapped)
+		for _, id := range diff.Included {
+			if !g.Lines[id-1].Core {
+				t.Fatalf("true report included non-core line %d", id)
+			}
+		}
+		if len(diff.Excluded) != 0 {
+			t.Fatalf("true report excluded lines: %v", diff.Excluded)
+		}
+
+		// Arbitrary report: statuses from fuzz bits.
+		var statuses []Status
+		for i := 1; i <= g.NumLines(); i++ {
+			closed := false
+			if (i-1)/8 < len(closedBits) {
+				closed = closedBits[(i-1)/8]&(1<<((i-1)%8)) != 0
+			}
+			statuses = append(statuses, Status{Line: i, Closed: closed})
+		}
+		r, err := NewReport(statuses)
+		if err != nil {
+			t.Fatalf("NewReport on well-formed statuses: %v", err)
+		}
+		mapped, err = p.Map(r)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		for _, ln := range g.Lines {
+			want := ln.Core || r.Closed(ln.ID)
+			if got := mapped.Contains(ln.ID); got != want {
+				t.Fatalf("line %d mapped=%v, want %v (core=%v closed=%v)",
+					ln.ID, got, want, ln.Core, r.Closed(ln.ID))
+			}
+		}
+
+		// Tampering with a secured line must be rejected; with an unsecured
+		// line it must take effect.
+		for _, ln := range g.Lines {
+			err := r.Tamper(g, ln.ID, !r.Closed(ln.ID))
+			if ln.StatusSecured && err == nil {
+				t.Fatalf("Tamper succeeded on secured line %d", ln.ID)
+			}
+			if !ln.StatusSecured && err != nil {
+				t.Fatalf("Tamper failed on unsecured line %d: %v", ln.ID, err)
+			}
+		}
+	})
+}
+
+// FuzzNewReport: report construction from arbitrary (line, closed) pairs
+// must never panic and must reject exactly non-positive and duplicate line
+// numbers.
+func FuzzNewReport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 2, 0, 3, 1})
+	f.Add([]byte{1, 1, 1, 0}) // duplicate
+	f.Add([]byte{0, 1})       // line 0
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var statuses []Status
+		seen := make(map[int]bool)
+		wantErr := false
+		for i := 0; i+1 < len(data); i += 2 {
+			line := int(int8(data[i])) // signed: negatives exercise rejection
+			statuses = append(statuses, Status{Line: line, Closed: data[i+1]&1 != 0})
+			if line < 1 || seen[line] {
+				wantErr = true
+			}
+			seen[line] = true
+		}
+		r, err := NewReport(statuses)
+		if wantErr && err == nil {
+			t.Fatalf("NewReport accepted invalid statuses %v", statuses)
+		}
+		if !wantErr && err != nil {
+			t.Fatalf("NewReport rejected valid statuses %v: %v", statuses, err)
+		}
+		if err == nil {
+			for _, s := range statuses {
+				if r.Closed(s.Line) != s.Closed {
+					t.Fatalf("Closed(%d) = %v, want %v", s.Line, r.Closed(s.Line), s.Closed)
+				}
+			}
+		}
+	})
+}
