@@ -21,6 +21,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"gridattack/internal/core"
 	"gridattack/internal/experiments"
 )
 
@@ -34,7 +35,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, or cert")
+		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, or arith")
 		all          = fs.Bool("all", false, "run every artifact")
 		caseList     = fs.String("cases", "", "comma-separated case subset (default: all five systems)")
 		maxConflicts = fs.Int64("max-conflicts", 2_000_000, "SMT conflict budget per query (0 = unlimited)")
@@ -48,7 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	artifacts := []string{*fig}
 	if *all {
-		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert"}
+		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith"}
 	}
 	for _, a := range artifacts {
 		if a == "" {
@@ -202,8 +203,33 @@ func runOne(w io.Writer, artifact string, names []string, maxConflicts int64) er
 		tw.Flush()
 		fmt.Fprintln(w)
 
+	case "arith":
+		// The Fig. 4(a) sweep with the SMT verification backend, so both the
+		// attack search and the OPF verification exercise the theory solver's
+		// arithmetic kernel; the columns report its effort counters.
+		rows, err := experiments.RunImpactSweep(experiments.SweepConfig{
+			Cases:        names,
+			MaxConflicts: maxConflicts,
+			Verify:       core.VerifySMT,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Arithmetic kernel: solver effort and hybrid-rational fast-path share (SMT-verified Fig. 4(a) sweep)")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "case\tbuses\tscenario\ttime\tpivots\ttheory-props\trat64-fast\tbigrat-fallback\tfast-path\trow-pool-reuse")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%.2f%%\t%d\n",
+				r.Case, r.Buses, r.Scenario, r.Elapsed.Round(1e5),
+				r.Stats.Pivots, r.Stats.TheoryProps,
+				r.Stats.Rat64FastOps, r.Stats.Rat64BigOps,
+				r.Stats.FastPathPercent(), r.Stats.RowPoolReuse)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+
 	default:
-		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert)", artifact)
+		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith)", artifact)
 	}
 	return nil
 }

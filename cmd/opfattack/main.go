@@ -8,7 +8,14 @@
 //	opfattack -input case.txt [-output result.txt] [-states] [-target 3]
 //	          [-verify lp|smt|shift] [-max-iter 200] [-parallel 0]
 //	          [-certify] [-budget conflicts=N,pivots=N,time=DUR]
-//	          [-checkpoint run.journal]
+//	          [-checkpoint run.journal] [-v]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -v prints the solver effort counters after the run: decisions, conflicts,
+// boolean and theory propagations, simplex pivots, and the arithmetic-kernel
+// split (hybrid-rational operations that stayed on the int64 fast path vs.
+// big.Rat fallbacks). -cpuprofile/-memprofile write pprof profiles of the
+// analysis for `go tool pprof`.
 //
 // With -checkpoint, every completed find–verify iteration is journaled
 // (fsync'd, hash-chained) to the given file; re-running the same command
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -52,12 +61,40 @@ func run(args []string, stdout io.Writer) error {
 		certify    = fs.Bool("certify", false, "check an independent certificate for every SMT verdict before trusting it")
 		budget     = fs.String("budget", "", "per-query solver budget as key=value pairs: conflicts=N, pivots=N, time=DURATION (e.g. conflicts=500000,time=30s)")
 		checkpoint = fs.String("checkpoint", "", "journal file for crash-resumable analysis; rerunning the same configuration resumes where the previous run stopped")
+		verbose    = fs.Bool("v", false, "print solver effort counters (pivots, propagations, arithmetic fast-path split) after the run")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *inputPath == "" {
 		return errors.New("-input is required")
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "opfattack: -memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "opfattack: -memprofile:", err)
+			}
+		}()
 	}
 	f, err := os.Open(*inputPath)
 	if err != nil {
@@ -137,6 +174,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "examined %d attack vector(s) in %v (attack search %v, OPF verification %v)\n",
 		rep.Iterations, rep.Elapsed.Round(1e6), rep.AttackSearchTime.Round(1e6), rep.VerifyTime.Round(1e6))
+	if *verbose {
+		st := rep.SolverStats
+		fmt.Fprintf(stdout, "solver effort: decisions=%d conflicts=%d propagations=%d theory-props=%d pivots=%d\n",
+			st.Decisions, st.Conflicts, st.Propagations, st.TheoryProps, st.Pivots)
+		fmt.Fprintf(stdout, "arith kernel: rat64-fast=%d bigrat-fallback=%d (%.2f%% fast path) row-pool-reuse=%d\n",
+			st.Rat64FastOps, st.Rat64BigOps, st.FastPathPercent(), st.RowPoolReuse)
+	}
 	return nil
 }
 

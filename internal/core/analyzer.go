@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"gridattack/internal/attack"
@@ -118,6 +119,28 @@ type Analyzer struct {
 	CheckpointPath string
 }
 
+// statsAcc accumulates solver effort counters across one Run: the attack
+// model's solver lineage plus every OPF verification model. A mutex guards
+// it because verification models finish on worker goroutines under the
+// pipelined loop. It lives outside Analyzer so the Analyzer value stays
+// copyable (MaxAchievableIncrease passes it by value).
+type statsAcc struct {
+	mu sync.Mutex
+	st smt.Stats
+}
+
+func (a *statsAcc) add(st smt.Stats) {
+	a.mu.Lock()
+	a.st.Add(st)
+	a.mu.Unlock()
+}
+
+func (a *statsAcc) snapshot() smt.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.st
+}
+
 // Report is the outcome of one analysis run.
 type Report struct {
 	BaselineCost float64        // attack-free OPF optimum T0
@@ -135,6 +158,14 @@ type Report struct {
 	AttackSearchTime time.Duration // cumulative attack-model solving time
 	VerifyTime       time.Duration // cumulative OPF verification time
 	Elapsed          time.Duration
+
+	// SolverStats aggregates SMT effort counters across the analysis: the
+	// attack model's solver lineage (clones inherit their parent's counters,
+	// so the surviving lineage reports cumulatively) plus every SMT-backed
+	// OPF verification model. LP and shift-factor verification contribute
+	// nothing. The arithmetic-kernel counters (Rat64FastOps vs Rat64BigOps)
+	// show how often the hybrid rationals stayed on the int64 fast path.
+	SolverStats smt.Stats
 }
 
 // Run executes the Fig. 2 loop.
@@ -190,6 +221,7 @@ func (a *Analyzer) Run() (*Report, error) {
 	}
 
 	rep := &Report{BaselineCost: base.Cost, Threshold: threshold}
+	acc := &statsAcc{}
 
 	var jr *Journal
 	if a.CheckpointPath != "" {
@@ -210,6 +242,8 @@ func (a *Analyzer) Run() (*Report, error) {
 			}
 		}
 		if done {
+			acc.add(model.Solver().Stats())
+			rep.SolverStats = acc.snapshot()
 			rep.Elapsed = time.Since(start)
 			return rep, nil
 		}
@@ -217,10 +251,13 @@ func (a *Analyzer) Run() (*Report, error) {
 
 	if par > 1 {
 		if rep.Iterations < maxIter {
-			if err := a.runPipelined(rep, model, fac, threshold, maxIter, par, jr); err != nil {
+			if err := a.runPipelined(rep, model, fac, threshold, maxIter, par, jr, acc); err != nil {
 				return nil, err
 			}
+		} else {
+			acc.add(model.Solver().Stats())
 		}
+		rep.SolverStats = acc.snapshot()
 		rep.Elapsed = time.Since(start)
 		return rep, nil
 	}
@@ -248,7 +285,7 @@ func (a *Analyzer) Run() (*Report, error) {
 		rep.Iterations++
 
 		t1 := time.Now()
-		cost, reached, err := a.verify(context.Background(), v, fac, threshold, 1)
+		cost, reached, err := a.verify(context.Background(), v, fac, threshold, 1, acc)
 		rep.VerifyTime += time.Since(t1)
 		if errors.Is(err, smt.ErrCanceled) {
 			rep.Canceled = true
@@ -275,6 +312,8 @@ func (a *Analyzer) Run() (*Report, error) {
 		}
 		model.Block(v, a.BlockPrecision)
 	}
+	acc.add(model.Solver().Stats())
+	rep.SolverStats = acc.snapshot()
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -395,7 +434,11 @@ func (a *Analyzer) replayCheckpoint(rep *Report, model *attack.Model, jr *Journa
 // The verification runs a stable solver portfolio of width par-1, the
 // speculative search a sequential solver — together they occupy the par
 // workers the caller granted.
-func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, threshold float64, maxIter, par int, jr *Journal) error {
+func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, threshold float64, maxIter, par int, jr *Journal, acc *statsAcc) error {
+	// The surviving attack-model lineage carries cumulative counters (Clone
+	// copies them), so reading the final model once covers the whole chain
+	// of speculative clones that became the model.
+	defer func() { acc.add(model.Solver().Stats()) }()
 	type verifyResult struct {
 		cost    float64
 		reached bool
@@ -435,7 +478,7 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 		vch := make(chan verifyResult, 1)
 		go func(v *attack.Vector) {
 			t := time.Now()
-			cost, reached, err := a.verify(ctx, v, fac, threshold, max(1, par-1))
+			cost, reached, err := a.verify(ctx, v, fac, threshold, max(1, par-1), acc)
 			vch <- verifyResult{cost: cost, reached: reached, err: err, elapsed: time.Since(t)}
 		}(v)
 
@@ -522,7 +565,7 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 // when the resulting minimum cost is at least the threshold while OPF still
 // converges (Eq. 38: the attacker avoids non-convergent outcomes). par is
 // the solver-portfolio width for the SMT backend (<= 1 = sequential).
-func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Factors, threshold float64, par int) (float64, bool, error) {
+func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Factors, threshold float64, par int, acc *statsAcc) (float64, bool, error) {
 	mode := a.Verify
 	if mode == 0 {
 		mode = VerifyLP
@@ -549,6 +592,7 @@ func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Facto
 		if err != nil {
 			return 0, false, err
 		}
+		defer func() { acc.add(fm.Stats()) }()
 		fm.Parallelism = par
 		fm.MaxPivots = a.MaxPivots
 		fm.Certify = a.Certify

@@ -255,7 +255,11 @@ func (fc *formulaCase) oracleSat() bool {
 
 // checkSMT runs one SMT differential case: solver verdict vs. enumeration
 // oracle, plus — on Sat — an exact replay of the solver's model against the
-// oracle AST. It returns a non-empty detail string on discrepancy.
+// oracle AST. The same formula is then re-solved under the arithmetic
+// kernel's A/B knobs — theory propagation disabled, and every hybrid-rational
+// op forced onto the big.Rat slow path — asserting the verdict is identical
+// and each variant's model replays exactly. It returns a non-empty detail
+// string on discrepancy.
 func checkSMT(rng *rand.Rand) string {
 	fc := genFormula(rng)
 	s, bools, reals := fc.toSolver()
@@ -270,6 +274,30 @@ func checkSMT(rng *rand.Rand) string {
 	if res == smt.Sat {
 		if d := fc.checkModel(s, bools, reals); d != "" {
 			return d
+		}
+	}
+	variants := []struct {
+		name string
+		cfg  func(*smt.Solver)
+	}{
+		{"no-propagation", func(v *smt.Solver) { v.NoPropagate = true }},
+		{"forced-bigrat", func(v *smt.Solver) { v.ForceBigRat = true }},
+		{"no-propagation+forced-bigrat", func(v *smt.Solver) { v.NoPropagate = true; v.ForceBigRat = true }},
+	}
+	for _, variant := range variants {
+		vs, vbools, vreals := fc.toSolver()
+		variant.cfg(vs)
+		vres, verr := vs.Check()
+		if verr != nil {
+			return fmt.Sprintf("%s variant error on %s: %v", variant.name, fc, verr)
+		}
+		if vres != res {
+			return fmt.Sprintf("%s variant verdict %v differs from baseline %v on %s", variant.name, vres, res, fc)
+		}
+		if vres == smt.Sat {
+			if d := fc.checkModel(vs, vbools, vreals); d != "" {
+				return fmt.Sprintf("%s variant: %s", variant.name, d)
+			}
 		}
 	}
 	return ""

@@ -53,6 +53,10 @@ type TimeRow struct {
 	// Search and Verify split the elapsed time between the attack model
 	// and the OPF model (paper Fig. 5's separation).
 	Search, Verify time.Duration
+	// Stats aggregates the SMT effort counters of the run (attack model +
+	// SMT-backed verification); the 'arith' benchreport artifact prints the
+	// arithmetic-kernel split from here.
+	Stats smt.Stats
 }
 
 // SweepConfig parameterizes a Fig. 4 style sweep.
@@ -122,6 +126,7 @@ func RunImpactSweep(cfg SweepConfig) ([]TimeRow, error) {
 				Elapsed:  rep.Elapsed,
 				Search:   rep.AttackSearchTime,
 				Verify:   rep.VerifyTime,
+				Stats:    rep.SolverStats,
 			})
 		}
 	}

@@ -82,6 +82,10 @@ func (m *FeasibilityModel) CheckCostBelow(ctx context.Context, costCap float64) 
 	return res == smt.Sat, nil
 }
 
+// Stats returns the underlying solver's effort counters accumulated across
+// every CheckCostBelow query on this model.
+func (m *FeasibilityModel) Stats() smt.Stats { return m.s.Stats() }
+
 // Dispatch returns the per-bus generation of the most recent satisfying
 // query. Valid only after CheckCostBelow returned true.
 func (m *FeasibilityModel) Dispatch() []float64 {

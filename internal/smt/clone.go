@@ -24,7 +24,13 @@ func (s *Solver) Clone() *Solver {
 		atomVars:     make(map[string]int, len(s.atomVars)),
 		formSlacks:   make(map[string]int, len(s.formSlacks)),
 		tseitinCache: make(map[*Formula]literal, len(s.tseitinCache)),
+		atomSlacks:   append([]int(nil), s.atomSlacks...),
+		atomsBySlack: make(map[int][]int, len(s.atomsBySlack)),
 		theoryHead:   s.theoryHead,
+		NoPropagate:  s.NoPropagate,
+		ForceBigRat:  s.ForceBigRat,
+		theoryProps:  s.theoryProps,
+		lastPropRev:  s.lastPropRev,
 		MaxConflicts: s.MaxConflicts,
 		MaxDuration:  s.MaxDuration,
 		MaxPivots:    s.MaxPivots,
@@ -45,12 +51,17 @@ func (s *Solver) Clone() *Solver {
 		cp.slackDefs[v] = def // defining terms are never mutated after creation
 	}
 	for v, info := range s.atoms {
-		cp.atoms[v] = &atomInfo{
+		ni := &atomInfo{
 			slack:   info.slack,
 			isUpper: info.isUpper,
 			strict:  info.strict,
 			bound:   new(big.Rat).Set(info.bound),
 		}
+		ni.initDeltaBounds()
+		cp.atoms[v] = ni
+	}
+	for slack, avs := range s.atomsBySlack {
+		cp.atomsBySlack[slack] = append([]int(nil), avs...)
 	}
 	for k, v := range s.atomVars {
 		cp.atomVars[k] = v
@@ -124,26 +135,30 @@ func (c *satCore) clone() (*satCore, map[*clause]*clause) {
 }
 
 // clone deep-copies the simplex tableau, bounds, assignment, and backtrack
-// trail. The copy gets fresh scratch storage and an empty rational pool.
+// trail. The copy gets fresh scratch storage; the hybrid-arithmetic counters
+// are carried over so portfolio replicas report cumulative statistics.
+// Promoted big.Rat values inside rat64 are immutable by construction, but
+// they are still deep-copied here so the clone shares no mutable-looking
+// storage with the original (keeps the race detector and future refactors
+// honest).
 func (s *simplex) clone() *simplex {
 	n := newSimplex()
+	n.arith = s.arith
 	n.nVars = s.nVars
 	n.needCheck = s.needCheck
+	n.boundRev = s.boundRev
 	n.pivots = s.pivots
+	n.rowReuse = s.rowReuse
 	n.certify = s.certify
-	n.rows = make(map[int]map[int]*big.Rat, len(s.rows))
-	for b, row := range s.rows {
-		nr := make(map[int]*big.Rat, len(row))
-		for j, c := range row {
-			nr[j] = new(big.Rat).Set(c)
-		}
-		n.rows[b] = nr
+	n.rows = make([]sparseRow, len(s.rows))
+	for v := range s.rows {
+		n.rows[v] = s.rows[v].clone()
 	}
 	n.basic = append([]bool(nil), s.basic...)
 	n.basicList = append([]int(nil), s.basicList...)
-	n.beta = make([]DRat, len(s.beta))
+	n.beta = make([]drat64, len(s.beta))
 	for i, d := range s.beta {
-		n.beta[i] = d.Clone()
+		n.beta[i] = d.clone()
 	}
 	n.lb = cloneBounds(s.lb)
 	n.ub = cloneBounds(s.ub)
@@ -155,19 +170,44 @@ func (s *simplex) clone() *simplex {
 	return n
 }
 
-func cloneBounds(bs []bound) []bound {
-	out := make([]bound, len(bs))
+// clone deep-copies a sparse row (fresh backing arrays, promoted rationals
+// duplicated).
+func (r sparseRow) clone() sparseRow {
+	if len(r.cols) == 0 {
+		return sparseRow{}
+	}
+	n := sparseRow{
+		cols: append([]int32(nil), r.cols...),
+		vals: make([]rat64, len(r.vals)),
+	}
+	for i, v := range r.vals {
+		n.vals[i] = v.clone()
+	}
+	return n
+}
+
+// clone returns a copy that shares no big.Rat storage with r.
+func (r rat64) clone() rat64 {
+	if r.promoted != nil {
+		return rat64{promoted: new(big.Rat).Set(r.promoted)}
+	}
+	return r
+}
+
+// clone returns a copy that shares no big.Rat storage with d.
+func (d drat64) clone() drat64 {
+	return drat64{a: d.a.clone(), b: d.b.clone()}
+}
+
+func cloneBounds(bs []hbound) []hbound {
+	out := make([]hbound, len(bs))
 	for i, b := range bs {
 		out[i] = b.clone()
 	}
 	return out
 }
 
-// clone deep-copies a bound; the zero value (inactive, no storage) is
-// returned as-is.
-func (b bound) clone() bound {
-	if b.val.A == nil {
-		return b
-	}
-	return bound{val: b.val.Clone(), reason: b.reason, active: b.active}
+// clone deep-copies a bound; inactive zero values are returned as-is.
+func (b hbound) clone() hbound {
+	return hbound{val: b.val.clone(), reason: b.reason, active: b.active}
 }

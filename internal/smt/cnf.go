@@ -37,6 +37,37 @@ type atomInfo struct {
 	isUpper bool // true: form <= / < bound; false: form >= / > bound
 	strict  bool
 	bound   *big.Rat
+
+	// Precomputed hybrid delta-rational bounds for the two polarities, so
+	// drainTheory and theory propagation never allocate big.Rats per literal:
+	// the positive literal asserts (isUpper, pVal); the negative literal
+	// asserts (!isUpper, nVal). nVal always equals pVal + delta when isUpper
+	// (and pVal - delta otherwise), which propagation relies on: an upper
+	// bound <= pVal both implies the atom and strictly contradicts nVal.
+	pVal drat64
+	nVal drat64
+}
+
+// initDeltaBounds fills the cached hybrid bounds from the big.Rat bound.
+func (a *atomInfo) initDeltaBounds() {
+	var pd, nd int64
+	if a.strict {
+		if a.isUpper {
+			pd = -1 // form < c  ==>  form <= c - delta
+		} else {
+			pd = 1 // form > c  ==>  form >= c + delta
+		}
+	} else {
+		// not(form <= c) == form > c == form >= c + delta, and symmetrically.
+		if a.isUpper {
+			nd = 1
+		} else {
+			nd = -1
+		}
+	}
+	b := r64FromBig(a.bound)
+	a.pVal = drat64{a: b, b: r64FromInt(pd)}
+	a.nVal = drat64{a: b, b: r64FromInt(nd)}
 }
 
 // posBound returns the delta-rational bound asserted by the positive literal.
@@ -269,12 +300,21 @@ func (s *Solver) inequalityLit(terms []LinTerm, op Op, rhs *big.Rat) literal {
 		s.formSlacks[fk] = slack
 	}
 	v := s.newSATVar()
-	s.atoms[v] = &atomInfo{
+	info := &atomInfo{
 		slack:   slack,
 		isUpper: ca.isUpper,
 		strict:  ca.strict,
 		bound:   new(big.Rat).Set(ca.bound),
 	}
+	info.initDeltaBounds()
+	s.atoms[v] = info
 	s.atomVars[key] = v
+	// Index the atom under its simplex variable for theory propagation; the
+	// slice (and the first-use-ordered slack list) gives deterministic
+	// iteration where ranging over the atoms map would not.
+	if _, seen := s.atomsBySlack[slack]; !seen {
+		s.atomSlacks = append(s.atomSlacks, slack)
+	}
+	s.atomsBySlack[slack] = append(s.atomsBySlack[slack], v)
 	return mkLit(v, false)
 }

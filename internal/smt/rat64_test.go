@@ -1,0 +1,190 @@
+package smt
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// ratOracle computes the reference result of an op with big.Rat throughout.
+func ratOracle(op byte, x, y *big.Rat) *big.Rat {
+	z := new(big.Rat)
+	switch op {
+	case '+':
+		return z.Add(x, y)
+	case '-':
+		return z.Sub(x, y)
+	case '*':
+		return z.Mul(x, y)
+	case '/':
+		return z.Quo(x, y)
+	case 'm': // fused x + f*y handled by caller
+		panic("unreachable")
+	}
+	panic("unknown op")
+}
+
+// mkRat64 builds a rat64 from a raw numerator/denominator pair the way the
+// fuzzer supplies them: via big.Rat normalization, so invalid pairs (zero or
+// negative denominators) are canonicalized rather than rejected.
+func mkRat64(num, den int64) (rat64, *big.Rat, bool) {
+	if den == 0 {
+		return rat64{}, nil, false
+	}
+	ref := big.NewRat(num, den)
+	return r64FromBig(ref), ref, true
+}
+
+// checkVal asserts a rat64's value matches a big.Rat reference and that its
+// representation invariants hold.
+func checkVal(t *testing.T, tag string, got rat64, want *big.Rat) {
+	t.Helper()
+	if got.toBig().Cmp(want) != 0 {
+		t.Fatalf("%s: got %s, want %s", tag, got.toBig().RatString(), want.RatString())
+	}
+	if got.promoted == nil {
+		if got.den <= 0 {
+			t.Fatalf("%s: non-positive denominator %d", tag, got.den)
+		}
+		if got.num == math.MinInt64 || got.den == math.MinInt64 {
+			t.Fatalf("%s: MinInt64 leaked onto the fast path", tag)
+		}
+		if g := gcd64(absI64(got.num), got.den); got.num != 0 && g != 1 {
+			t.Fatalf("%s: unreduced fraction %d/%d (gcd %d)", tag, got.num, got.den, g)
+		}
+		if got.num == 0 && got.den != 1 {
+			t.Fatalf("%s: zero not canonical: 0/%d", tag, got.den)
+		}
+	}
+}
+
+// crossCheck runs every arith op on one operand pair against the big.Rat
+// oracle, in both hybrid and forced-big modes.
+func crossCheck(t *testing.T, xn, xd, yn, yd int64) {
+	t.Helper()
+	x, xref, ok := mkRat64(xn, xd)
+	if !ok {
+		return
+	}
+	y, yref, ok := mkRat64(yn, yd)
+	if !ok {
+		return
+	}
+	for _, force := range []bool{false, true} {
+		ar := &arith{forceBig: force}
+		checkVal(t, "add", ar.add(x, y), ratOracle('+', xref, yref))
+		checkVal(t, "sub", ar.sub(x, y), ratOracle('-', xref, yref))
+		checkVal(t, "mul", ar.mul(x, y), ratOracle('*', xref, yref))
+		checkVal(t, "neg", ar.neg(x), new(big.Rat).Neg(xref))
+		checkVal(t, "abs", ar.abs(x), new(big.Rat).Abs(xref))
+		if y.Sign() != 0 {
+			checkVal(t, "div", ar.div(x, y), ratOracle('/', xref, yref))
+			checkVal(t, "inv", ar.inv(y), new(big.Rat).Inv(yref))
+		}
+		want := new(big.Rat).Mul(xref, yref)
+		want.Add(want, xref)
+		checkVal(t, "addMul", ar.addMul(x, x, y), want) // x + x*y
+		if gotC, wantC := ar.cmp(x, y), xref.Cmp(yref); gotC != wantC {
+			t.Fatalf("cmp(%s,%s) = %d, want %d", xref.RatString(), yref.RatString(), gotC, wantC)
+		}
+		if ar.equal(x, y) != (xref.Cmp(yref) == 0) {
+			t.Fatalf("equal(%s,%s) inconsistent with cmp", xref.RatString(), yref.RatString())
+		}
+		// A hybrid op and its forced-big twin must agree bit-for-bit in value;
+		// counters must attribute every op to exactly one path.
+		if force && ar.fastOps != 0 {
+			t.Fatalf("forceBig run still took %d fast-path ops", ar.fastOps)
+		}
+		if !force && ar.fastOps+ar.bigOps == 0 {
+			t.Fatal("no operations counted")
+		}
+	}
+}
+
+// TestRat64Basics pins easy algebraic identities and the counter wiring.
+func TestRat64Basics(t *testing.T) {
+	ar := &arith{}
+	half := r64FromBig(big.NewRat(1, 2))
+	third := r64FromBig(big.NewRat(1, 3))
+	sum := ar.add(half, third)
+	if got := sum.toBig().RatString(); got != "5/6" {
+		t.Fatalf("1/2 + 1/3 = %s", got)
+	}
+	if ar.bigOps != 0 || ar.fastOps == 0 {
+		t.Fatalf("small add used the slow path (fast=%d big=%d)", ar.fastOps, ar.bigOps)
+	}
+	// Force an overflow: (2^62)/1 * (2^62)/1 cannot fit an int64.
+	huge := r64FromInt(1 << 62)
+	prod := ar.mul(huge, huge)
+	if !prod.isBig() {
+		t.Fatal("2^62 * 2^62 stayed on the fast path")
+	}
+	want := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 124))
+	if prod.toBig().Cmp(want) != 0 {
+		t.Fatalf("2^62 * 2^62 = %s", prod.toBig().RatString())
+	}
+	if ar.bigOps == 0 {
+		t.Fatal("overflowing mul not counted as a big op")
+	}
+	// And back: dividing by one factor demotes the result onto the fast path.
+	quot := ar.div(prod, huge)
+	if quot.isBig() {
+		t.Fatal("result that fits int64 was not demoted")
+	}
+	if quot.num != 1<<62 || quot.den != 1 {
+		t.Fatalf("demoted quotient = %d/%d", quot.num, quot.den)
+	}
+}
+
+// TestRat64MinInt64 covers the excluded-representation edge: MinInt64 inputs
+// must be promoted so negation can never overflow.
+func TestRat64MinInt64(t *testing.T) {
+	x := r64FromInt(math.MinInt64)
+	if !x.isBig() {
+		t.Fatal("MinInt64 landed on the fast path")
+	}
+	ar := &arith{}
+	n := ar.neg(x)
+	want := new(big.Rat).Neg(new(big.Rat).SetInt64(math.MinInt64))
+	if n.toBig().Cmp(want) != 0 {
+		t.Fatalf("-MinInt64 = %s", n.toBig().RatString())
+	}
+	// Via big.Rat normalization the same value must also promote (or reduce).
+	y := r64FromBig(new(big.Rat).SetFrac64(math.MinInt64, 3))
+	checkVal(t, "min/3", y, new(big.Rat).SetFrac64(math.MinInt64, 3))
+}
+
+// TestRat64CrossCheckGrid sweeps a deterministic grid including every overflow
+// boundary class the fuzzer seeds.
+func TestRat64CrossCheckGrid(t *testing.T) {
+	vals := []int64{0, 1, -1, 2, 3, -3, 7, 1 << 31, -(1 << 31), 1 << 62, -(1 << 62), math.MaxInt64, math.MinInt64 + 1}
+	dens := []int64{1, 2, 3, 1 << 31, math.MaxInt64}
+	for _, xn := range vals {
+		for _, xd := range dens {
+			crossCheck(t, xn, xd, 3, 7)
+			crossCheck(t, 5, 9, xn, xd)
+			crossCheck(t, xn, xd, xn, xd)
+		}
+	}
+}
+
+// FuzzRat64 cross-checks every hybrid-rational operation against the big.Rat
+// oracle on arbitrary operand pairs. The seed corpus sits on the int64
+// overflow boundaries: ±2^62 and MaxInt64 numerators, and denominator pairs
+// whose product overflows (large coprime denominators force the add slow
+// path).
+func FuzzRat64(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(1), int64(3))
+	f.Add(int64(1)<<62, int64(1), int64(1)<<62, int64(1))
+	f.Add(-(int64(1) << 62), int64(1), int64(1)<<62, int64(1))
+	f.Add(int64(math.MaxInt64), int64(1), int64(1), int64(math.MaxInt64))
+	f.Add(int64(math.MinInt64), int64(1), int64(math.MinInt64), int64(3))
+	// Denominator-product overflow: 2^31+11 and 2^31+1 are coprime, so the
+	// common denominator exceeds int64 and the sum must promote.
+	f.Add(int64(1), int64(1)<<31+11, int64(1), int64(1)<<31+1)
+	f.Add(int64(3), int64(2147483647), int64(5), int64(2147483629))
+	f.Add(int64(0), int64(1), int64(0), int64(-1))
+	f.Fuzz(func(t *testing.T, xn, xd, yn, yd int64) {
+		crossCheck(t, xn, xd, yn, yd)
+	})
+}

@@ -56,6 +56,12 @@ type satCore struct {
 
 	// Statistics.
 	decisions, conflicts, propagations int64
+
+	// Scratch buffers reused across calls (never cloned — clones start
+	// fresh): addBuf backs addClause's dedup pass, seenBuf the conflict
+	// analysis marks (all-false between analyze calls by invariant).
+	addBuf  []literal
+	seenBuf []bool
 }
 
 func newSATCore() *satCore {
@@ -158,15 +164,24 @@ func (c *satCore) litValue(l literal) assignVal {
 // addClause installs a clause, handling empty/unit/duplicate-literal cases.
 // Must be called at decision level 0.
 func (c *satCore) addClause(lits []literal) {
-	// Deduplicate and drop tautologies.
-	seen := make(map[literal]bool, len(lits))
-	out := lits[:0:0]
+	// Deduplicate and drop tautologies. Clauses are short (Tseitin and
+	// cardinality encodings emit 2-4 literals), so a quadratic scan beats a
+	// per-clause map allocation, and the scratch buffer is reused across
+	// calls (only the final clause storage is retained).
+	out := c.addBuf[:0]
+	defer func() { c.addBuf = out[:0] }()
 	for _, l := range lits {
-		if seen[l.not()] {
-			return // tautology: l and not(l) both present
+		dup := false
+		for _, o := range out {
+			if o == l.not() {
+				return // tautology: l and not(l) both present
+			}
+			if o == l {
+				dup = true
+				break
+			}
 		}
-		if !seen[l] {
-			seen[l] = true
+		if !dup {
 			out = append(out, l)
 		}
 	}
@@ -242,8 +257,13 @@ func (c *satCore) propagate() *clause {
 		p := c.trail[c.qhead] // p is true; clauses watching not(p) may become unit
 		c.qhead++
 		c.propagations++
+		// Compact the watch list in place: kept watchers slide to the front
+		// (write index j), clauses that found a new watch are moved to the
+		// other list. The backing array is reused across propagations —
+		// rebuilding it with append-to-nil was the solver's single largest
+		// allocation source.
 		ws := c.watches[p]
-		c.watches[p] = nil
+		j := 0
 		for wi := 0; wi < len(ws); wi++ {
 			cl := ws[wi]
 			// Ensure lits[1] is the false literal (== not(p)).
@@ -251,7 +271,8 @@ func (c *satCore) propagate() *clause {
 				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
 			}
 			if c.litValue(cl.lits[0]) == assignTrue {
-				c.watches[p] = append(c.watches[p], cl)
+				ws[j] = cl
+				j++
 				continue
 			}
 			// Look for a new literal to watch.
@@ -259,6 +280,8 @@ func (c *satCore) propagate() *clause {
 			for k := 2; k < len(cl.lits); k++ {
 				if c.litValue(cl.lits[k]) != assignFals {
 					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					// The new watch is non-false and not(p) is false, so the
+					// target list is never this one — in-place j is safe.
 					c.watches[cl.lits[1].not()] = append(c.watches[cl.lits[1].not()], cl)
 					found = true
 					break
@@ -268,14 +291,17 @@ func (c *satCore) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			c.watches[p] = append(c.watches[p], cl)
+			ws[j] = cl
+			j++
 			if !c.enqueue(cl.lits[0], cl) {
-				// Conflict: restore remaining watches and report.
-				c.watches[p] = append(c.watches[p], ws[wi+1:]...)
+				// Conflict: keep the unvisited tail and report.
+				j += copy(ws[j:], ws[wi+1:])
+				c.watches[p] = ws[:j]
 				c.qhead = len(c.trail)
 				return cl
 			}
 		}
+		c.watches[p] = ws[:j]
 	}
 	return nil
 }
@@ -285,7 +311,10 @@ func (c *satCore) propagate() *clause {
 // returns the learned clause (asserting literal first) and the backjump
 // level.
 func (c *satCore) analyze(confl *clause) ([]literal, int) {
-	seen := make([]bool, c.numVars)
+	if len(c.seenBuf) < c.numVars {
+		c.seenBuf = make([]bool, c.numVars)
+	}
+	seen := c.seenBuf      // all false on entry; cleared again before returning
 	learnt := []literal{0} // placeholder for the asserting literal
 	counter := 0
 	idx := len(c.trail) - 1
@@ -322,6 +351,12 @@ func (c *satCore) analyze(confl *clause) ([]literal, int) {
 		reasonLits = r.lits[1:]
 	}
 	learnt[0] = p.not()
+	// Restore the all-false invariant: the only marks still set belong to
+	// the non-UIP learned literals (every current-level mark was cleared as
+	// it was popped off the trail).
+	for i := 1; i < len(learnt); i++ {
+		seen[learnt[i].variable()] = false
+	}
 
 	// Backjump level: highest level among the other literals.
 	bt := 0

@@ -12,26 +12,42 @@ import (
 // simplex for DPLL(T). Variables 0..nOrig-1 are the user's real variables;
 // slack variables introduced for multi-term linear forms follow.
 //
+// Arithmetic kernel: all tableau coefficients, assignments, and bounds are
+// hybrid rationals (rat64: int64 fast path, transparent big.Rat promotion on
+// overflow — see rat64.go), and the tableau itself is stored as flat sparse
+// rows (sorted column-index + coefficient slices) instead of the previous
+// map[int]map[int]*big.Rat. Pivots therefore run as in-place sorted merges
+// with no hashing, no pointer-chasing, and — on the fast path — no heap
+// allocation at all. The independent certificate checker (certify.go) stays
+// on pure big.Rat and shares none of this code.
+//
 // Invariants:
 //   - every basic variable b has a row: b = sum(coeff_j * x_j) over nonbasic j;
 //   - the assignment beta satisfies every row equation exactly;
 //   - every *nonbasic* variable satisfies its bounds; only basic variables
 //     may violate bounds between check() calls.
 type simplex struct {
-	nVars int
-	rows  map[int]map[int]*big.Rat // basic var -> {nonbasic var -> coeff}
-	basic []bool
-	beta  []DRat
-	lb    []bound
-	ub    []bound
+	arith // hybrid-rational context: fast/slow counters + forceBig knob
 
-	// basicList mirrors the keys of rows in ascending order (for Bland's
-	// rule) and is maintained incrementally across pivots.
+	nVars int
+	rows  []sparseRow // indexed by variable; empty unless basic
+	basic []bool
+	beta  []drat64
+	lb    []hbound
+	ub    []hbound
+
+	// basicList mirrors the set of basic variables in ascending order (for
+	// Bland's rule) and is maintained incrementally across pivots.
 	basicList []int
 	// needCheck records whether any bound was tightened (or a conflict
 	// left the tableau unvalidated) since the last successful check; when
 	// false, check() is a no-op.
 	needCheck bool
+
+	// boundRev increments whenever a bound is tightened or the tableau is
+	// pivoted; the solver's theory propagation uses it to skip rounds where
+	// nothing it could derive has changed.
+	boundRev uint64
 
 	trail []bndUndo
 	lims  []int
@@ -53,38 +69,80 @@ type simplex struct {
 	// simplex.
 	certify bool
 
-	// Scratch storage reused across pivots. pivotAndUpdate/pivot/update
-	// used to allocate fresh big.Rats for every touched row on every pivot;
-	// the pool and the in-place tableau rewrites below reuse row storage
-	// instead, which is a large constant-factor win on the hot
-	// Dutertre–de Moura path.
-	pool    []*big.Rat // free list of row-coefficient rationals
-	prod    *big.Rat   // transient product buffer
-	inv     *big.Rat   // transient pivot-coefficient inverse
-	theta   DRat       // transient pivot step
-	colsBuf []int      // reusable sorted-column buffer for check()
+	// Scratch merge buffers: row substitution during a pivot merges into
+	// these, then swaps them with the target row's storage, so row backing
+	// arrays rotate between the tableau and the scratch slot instead of
+	// being reallocated.
+	mcols []int32
+	mvals []rat64
 
-	pivots int // statistics
+	pivots   int   // statistics
+	rowReuse int64 // pivot merges served entirely from recycled row storage
 }
 
-// getRat takes a rational from the pool (or allocates one). The caller owns
-// the result; its prior value is arbitrary and must be overwritten.
-func (s *simplex) getRat() *big.Rat {
-	if n := len(s.pool); n > 0 {
-		r := s.pool[n-1]
-		s.pool = s.pool[:n-1]
-		return r
+// sparseRow is one tableau row in flat sparse form: parallel slices of
+// strictly increasing column indices and their (nonzero) coefficients.
+type sparseRow struct {
+	cols []int32
+	vals []rat64
+}
+
+// find returns the index of column j, or -1 when absent (binary search).
+func (r *sparseRow) find(j int32) int {
+	lo, hi := 0, len(r.cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.cols[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return new(big.Rat)
+	if lo < len(r.cols) && r.cols[lo] == j {
+		return lo
+	}
+	return -1
 }
 
-// putRat returns a rational to the pool. The caller must not retain it.
-func (s *simplex) putRat(r *big.Rat) { s.pool = append(s.pool, r) }
+// removeAt deletes the entry at index i, keeping the row sorted.
+func (r *sparseRow) removeAt(i int) {
+	copy(r.cols[i:], r.cols[i+1:])
+	copy(r.vals[i:], r.vals[i+1:])
+	r.cols = r.cols[:len(r.cols)-1]
+	r.vals = r.vals[:len(r.vals)-1]
+}
+
+// insert places coefficient v at column j (which must be absent).
+func (r *sparseRow) insert(j int32, v rat64) {
+	lo, hi := 0, len(r.cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.cols[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.cols = append(r.cols, 0)
+	r.vals = append(r.vals, rat64{})
+	copy(r.cols[lo+1:], r.cols[lo:])
+	copy(r.vals[lo+1:], r.vals[lo:])
+	r.cols[lo] = j
+	r.vals[lo] = v
+}
+
+// hbound is one side of a variable's admissible interval, in the simplex's
+// internal hybrid representation, together with the literal that caused it.
+type hbound struct {
+	val    drat64
+	reason literal
+	active bool
+}
 
 type bndUndo struct {
 	v       int
 	isUpper bool
-	old     bound
+	old     hbound
 }
 
 // theoryConflict is a set of literals that cannot be jointly true. When the
@@ -98,22 +156,18 @@ type theoryConflict struct {
 }
 
 func newSimplex() *simplex {
-	return &simplex{
-		rows:  make(map[int]map[int]*big.Rat),
-		prod:  new(big.Rat),
-		inv:   new(big.Rat),
-		theta: DRat{A: new(big.Rat), B: new(big.Rat)},
-	}
+	return &simplex{}
 }
 
 // addVar appends a fresh arithmetic variable and returns its index.
 func (s *simplex) addVar() int {
 	v := s.nVars
 	s.nVars++
+	s.rows = append(s.rows, sparseRow{})
 	s.basic = append(s.basic, false)
-	s.beta = append(s.beta, DRatFromInt(0))
-	s.lb = append(s.lb, bound{})
-	s.ub = append(s.ub, bound{})
+	s.beta = append(s.beta, drat64{a: r64FromInt(0), b: r64FromInt(0)})
+	s.lb = append(s.lb, hbound{})
+	s.ub = append(s.ub, hbound{})
 	return v
 }
 
@@ -123,17 +177,43 @@ func (s *simplex) addVar() int {
 // references nonbasic variables.
 func (s *simplex) addSlack(terms []LinTerm) int {
 	v := s.addVar()
-	row := make(map[int]*big.Rat, len(terms))
-	val := DRatFromInt(0)
+	acc := make(map[int32]rat64, len(terms))
+	addAccMul := func(j int32, f, v rat64) {
+		if cur, ok := acc[j]; ok {
+			sum := s.addMul(cur, f, v)
+			if sum.IsZero() {
+				delete(acc, j)
+			} else {
+				acc[j] = sum
+			}
+		} else if sum := s.mul(f, v); !sum.IsZero() {
+			acc[j] = sum
+		}
+	}
+	one := r64FromInt(1)
+	val := d64FromInt(0)
 	for _, t := range terms {
+		c := r64FromBig(t.Coeff)
 		if s.basic[t.Var] {
-			for j, c := range s.rows[t.Var] {
-				addCoeff(row, j, new(big.Rat).Mul(t.Coeff, c))
+			row := &s.rows[t.Var]
+			for i, j := range row.cols {
+				addAccMul(j, c, row.vals[i])
 			}
 		} else {
-			addCoeff(row, t.Var, t.Coeff)
+			addAccMul(int32(t.Var), c, one)
 		}
-		val = val.Add(s.beta[t.Var].ScaleRat(t.Coeff))
+		val = s.daddScaled(val, c, s.beta[t.Var])
+	}
+	row := sparseRow{
+		cols: make([]int32, 0, len(acc)),
+		vals: make([]rat64, 0, len(acc)),
+	}
+	for j := range acc {
+		row.cols = append(row.cols, j)
+	}
+	sort.Slice(row.cols, func(i, k int) bool { return row.cols[i] < row.cols[k] })
+	for _, j := range row.cols {
+		row.vals = append(row.vals, acc[j])
 	}
 	s.rows[v] = row
 	s.basic[v] = true
@@ -158,6 +238,9 @@ func (s *simplex) basicRemove(v int) {
 	}
 }
 
+// addCoeff accumulates c into row[v] of a big.Rat coefficient map. It is
+// used by the certificate checker's Farkas validation (certify.go), which
+// deliberately stays on pure big.Rat arithmetic.
 func addCoeff(row map[int]*big.Rat, v int, c *big.Rat) {
 	if cur, ok := row[v]; ok {
 		cur.Add(cur, c)
@@ -190,37 +273,40 @@ func (s *simplex) popTo(level int) {
 	}
 	s.trail = s.trail[:mark]
 	s.lims = s.lims[:level]
+	s.boundRev++
 }
 
 // assertBound applies the bound implied by a theory literal. It returns a
 // conflict when the new bound contradicts the opposite bound already
 // asserted, and nil otherwise.
-func (s *simplex) assertBound(v int, isUpper bool, val DRat, reason literal) *theoryConflict {
+func (s *simplex) assertBound(v int, isUpper bool, val drat64, reason literal) *theoryConflict {
 	if isUpper {
-		if s.lb[v].active && val.Cmp(s.lb[v].val) < 0 {
+		if s.lb[v].active && s.dcmp(val, s.lb[v].val) < 0 {
 			return &theoryConflict{lits: []literal{reason, s.lb[v].reason}, farkas: s.clashFarkas()}
 		}
-		if s.ub[v].active && val.Cmp(s.ub[v].val) >= 0 {
+		if s.ub[v].active && s.dcmp(val, s.ub[v].val) >= 0 {
 			return nil // not tighter
 		}
 		s.trail = append(s.trail, bndUndo{v: v, isUpper: true, old: s.ub[v]})
-		s.ub[v] = bound{val: val, reason: reason, active: true}
+		s.ub[v] = hbound{val: val, reason: reason, active: true}
 		s.needCheck = true
-		if !s.basic[v] && s.beta[v].Cmp(val) > 0 {
+		s.boundRev++
+		if !s.basic[v] && s.dcmp(s.beta[v], val) > 0 {
 			s.update(v, val)
 		}
 		return nil
 	}
-	if s.ub[v].active && val.Cmp(s.ub[v].val) > 0 {
+	if s.ub[v].active && s.dcmp(val, s.ub[v].val) > 0 {
 		return &theoryConflict{lits: []literal{reason, s.ub[v].reason}, farkas: s.clashFarkas()}
 	}
-	if s.lb[v].active && val.Cmp(s.lb[v].val) <= 0 {
+	if s.lb[v].active && s.dcmp(val, s.lb[v].val) <= 0 {
 		return nil
 	}
 	s.trail = append(s.trail, bndUndo{v: v, isUpper: false, old: s.lb[v]})
-	s.lb[v] = bound{val: val, reason: reason, active: true}
+	s.lb[v] = hbound{val: val, reason: reason, active: true}
 	s.needCheck = true
-	if !s.basic[v] && s.beta[v].Cmp(val) < 0 {
+	s.boundRev++
+	if !s.basic[v] && s.dcmp(s.beta[v], val) < 0 {
 		s.update(v, val)
 	}
 	return nil
@@ -237,19 +323,17 @@ func (s *simplex) clashFarkas() []*big.Rat {
 }
 
 // update moves nonbasic variable v to value val, adjusting every basic
-// variable's assignment to keep the row equations satisfied. All beta
-// entries are rewritten in place (the beta slice owns its rationals
-// exclusively), so no rationals are allocated.
-func (s *simplex) update(v int, val DRat) {
-	// theta scratch := val - beta[v].
-	s.theta.A.Sub(val.A, s.beta[v].A)
-	s.theta.B.Sub(val.B, s.beta[v].B)
-	for b, row := range s.rows {
-		if c, ok := row[v]; ok {
-			s.beta[b].addScaledInPlace(s.theta, c, s.prod)
+// variable's assignment to keep the row equations satisfied.
+func (s *simplex) update(v int, val drat64) {
+	theta := s.dsub(val, s.beta[v])
+	j := int32(v)
+	for _, b := range s.basicList {
+		row := &s.rows[b]
+		if i := row.find(j); i >= 0 {
+			s.beta[b] = s.daddScaled(s.beta[b], row.vals[i], theta)
 		}
 	}
-	s.beta[v].setFrom(val)
+	s.beta[v] = val
 }
 
 // check restores bound satisfaction for basic variables, pivoting as needed.
@@ -292,28 +376,28 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 		if bland {
 			// Bland's rule: smallest violating basic variable.
 			for _, cand := range s.basicList {
-				if s.lb[cand].active && s.beta[cand].Cmp(s.lb[cand].val) < 0 {
+				if s.lb[cand].active && s.dcmp(s.beta[cand], s.lb[cand].val) < 0 {
 					b, needRaise = cand, true
 					break
 				}
-				if s.ub[cand].active && s.beta[cand].Cmp(s.ub[cand].val) > 0 {
+				if s.ub[cand].active && s.dcmp(s.beta[cand], s.ub[cand].val) > 0 {
 					b, needRaise = cand, false
 					break
 				}
 			}
 		} else {
 			// Heuristic: the basic variable with the largest violation.
-			var worst DRat
+			var worst drat64
 			for _, cand := range s.basicList {
-				if s.lb[cand].active && s.beta[cand].Cmp(s.lb[cand].val) < 0 {
-					gap := s.lb[cand].val.Sub(s.beta[cand])
-					if b < 0 || gap.Cmp(worst) > 0 {
+				if s.lb[cand].active && s.dcmp(s.beta[cand], s.lb[cand].val) < 0 {
+					gap := s.dsub(s.lb[cand].val, s.beta[cand])
+					if b < 0 || s.dcmp(gap, worst) > 0 {
 						b, needRaise, worst = cand, true, gap
 					}
 				}
-				if s.ub[cand].active && s.beta[cand].Cmp(s.ub[cand].val) > 0 {
-					gap := s.beta[cand].Sub(s.ub[cand].val)
-					if b < 0 || gap.Cmp(worst) > 0 {
+				if s.ub[cand].active && s.dcmp(s.beta[cand], s.ub[cand].val) > 0 {
+					gap := s.dsub(s.beta[cand], s.ub[cand].val)
+					if b < 0 || s.dcmp(gap, worst) > 0 {
 						b, needRaise, worst = cand, false, gap
 					}
 				}
@@ -323,43 +407,38 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 			s.needCheck = false
 			return nil, nil
 		}
-		row := s.rows[b]
-		cols := s.colsBuf[:0]
-		for j := range row {
-			cols = append(cols, j)
-		}
-		sort.Ints(cols)
-		s.colsBuf = cols
-		eligible := func(j int) bool {
-			c := row[j]
+		// The row's columns are already sorted, so both Bland's rule and the
+		// heuristic scan them in ascending order with no sort step.
+		row := &s.rows[b]
+		eligible := func(c rat64, j int) bool {
 			if needRaise {
 				// beta[b] must increase: raise x_j if coeff > 0 and x_j can
 				// grow, or lower x_j if coeff < 0 and x_j can shrink.
-				return (c.Sign() > 0 && (!s.ub[j].active || s.beta[j].Cmp(s.ub[j].val) < 0)) ||
-					(c.Sign() < 0 && (!s.lb[j].active || s.beta[j].Cmp(s.lb[j].val) > 0))
+				return (c.Sign() > 0 && (!s.ub[j].active || s.dcmp(s.beta[j], s.ub[j].val) < 0)) ||
+					(c.Sign() < 0 && (!s.lb[j].active || s.dcmp(s.beta[j], s.lb[j].val) > 0))
 			}
-			return (c.Sign() > 0 && (!s.lb[j].active || s.beta[j].Cmp(s.lb[j].val) > 0)) ||
-				(c.Sign() < 0 && (!s.ub[j].active || s.beta[j].Cmp(s.ub[j].val) < 0))
+			return (c.Sign() > 0 && (!s.lb[j].active || s.dcmp(s.beta[j], s.lb[j].val) > 0)) ||
+				(c.Sign() < 0 && (!s.ub[j].active || s.dcmp(s.beta[j], s.ub[j].val) < 0))
 		}
 		pivotCol := -1
 		if bland {
-			for _, j := range cols {
-				if eligible(j) {
-					pivotCol = j
+			for i, j := range row.cols {
+				if eligible(row.vals[i], int(j)) {
+					pivotCol = int(j)
 					break
 				}
 			}
 		} else {
 			// Largest |coefficient| among eligible columns: fewer, better
 			// conditioned pivots.
-			var best *big.Rat
-			for _, j := range cols {
-				if !eligible(j) {
+			var best rat64
+			for i, j := range row.cols {
+				if !eligible(row.vals[i], int(j)) {
 					continue
 				}
-				abs := new(big.Rat).Abs(row[j])
-				if pivotCol < 0 || abs.Cmp(best) > 0 {
-					pivotCol = j
+				abs := s.abs(row.vals[i])
+				if pivotCol < 0 || s.cmp(abs, best) > 0 {
+					pivotCol = int(j)
 					best = abs
 				}
 			}
@@ -380,20 +459,20 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 			if s.certify {
 				confl.farkas = append(confl.farkas, big.NewRat(1, 1))
 			}
-			for _, j := range cols {
-				c := row[j]
+			for i, j := range row.cols {
+				c := row.vals[i]
 				if (needRaise && c.Sign() > 0) || (!needRaise && c.Sign() < 0) {
 					confl.lits = append(confl.lits, s.ub[j].reason)
 				} else {
 					confl.lits = append(confl.lits, s.lb[j].reason)
 				}
 				if s.certify {
-					confl.farkas = append(confl.farkas, new(big.Rat).Abs(c))
+					confl.farkas = append(confl.farkas, s.abs(c).toBig())
 				}
 			}
 			return confl, nil
 		}
-		var target DRat
+		var target drat64
 		if needRaise {
 			target = s.lb[b].val
 		} else {
@@ -404,48 +483,50 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 }
 
 // pivotAndUpdate sets basic variable b to value target by moving nonbasic
-// variable j, then swaps their roles in the tableau. All assignment updates
-// run in place through the scratch buffers — the hot path allocates nothing.
-func (s *simplex) pivotAndUpdate(b, j int, target DRat) {
+// variable j, then swaps their roles in the tableau. On the rat64 fast path
+// the whole operation is allocation-free.
+func (s *simplex) pivotAndUpdate(b, j int, target drat64) {
 	s.pivots++
-	a := s.rows[b][j]
-	s.inv.Inv(a)
-	// theta scratch := (target - beta[b]) / a.
-	s.theta.A.Sub(target.A, s.beta[b].A)
-	s.theta.A.Mul(s.theta.A, s.inv)
-	s.theta.B.Sub(target.B, s.beta[b].B)
-	s.theta.B.Mul(s.theta.B, s.inv)
-	s.beta[b].setFrom(target)
-	s.beta[j].addInPlace(s.theta)
-	for other, row := range s.rows {
+	s.boundRev++
+	rowB := &s.rows[b]
+	a := rowB.vals[rowB.find(int32(j))]
+	ainv := s.inv(a)
+	theta := s.dscale(s.dsub(target, s.beta[b]), ainv)
+	s.beta[b] = target
+	s.beta[j] = s.dadd(s.beta[j], theta)
+	jc := int32(j)
+	for _, other := range s.basicList {
 		if other == b {
 			continue
 		}
-		if c, ok := row[j]; ok {
-			s.beta[other].addScaledInPlace(s.theta, c, s.prod)
+		row := &s.rows[other]
+		if i := row.find(jc); i >= 0 {
+			s.beta[other] = s.daddScaled(s.beta[other], row.vals[i], theta)
 		}
 	}
 	s.pivot(b, j)
 }
 
 // pivot swaps basic variable b with nonbasic variable j. The old row of b is
-// transformed in place into the new row of j (its coefficient rationals are
-// reused), and coefficients eliminated during substitution go to the pool
-// instead of the garbage collector.
+// transformed in place into the new row of j, and every other row's
+// substitution runs as a sorted two-pointer merge whose result storage
+// rotates through the scratch buffers — no maps, no hashing, and no
+// allocation once the buffers have grown to the working-set size.
 func (s *simplex) pivot(b, j int) {
 	rowB := s.rows[b]
-	a := rowB[j]
-	delete(rowB, j)
+	s.rows[b] = sparseRow{}
+	i := rowB.find(int32(j))
+	a := rowB.vals[i]
+	rowB.removeAt(i)
 
 	// Transform rowB in place into the row for j:
 	// x_j = (x_b - sum_{k != j} c_k x_k) / a.
-	a.Inv(a) // a's storage is reused as the coefficient of x_b
-	for _, c := range rowB {
-		c.Mul(c, a)
-		c.Neg(c)
+	ainv := s.inv(a)
+	nainv := s.neg(ainv)
+	for k := range rowB.vals {
+		rowB.vals[k] = s.mul(rowB.vals[k], nainv)
 	}
-	rowB[b] = a
-	delete(s.rows, b)
+	rowB.insert(int32(b), ainv)
 	s.basic[b] = false
 	s.basicRemove(b)
 	s.rows[j] = rowB
@@ -453,51 +534,84 @@ func (s *simplex) pivot(b, j int) {
 	s.basicInsert(j)
 
 	// Substitute x_j in every other row.
-	for other, row := range s.rows {
+	jc := int32(j)
+	src := &s.rows[j]
+	for _, other := range s.basicList {
 		if other == j {
 			continue
 		}
-		factor, ok := row[j]
-		if !ok {
+		row := &s.rows[other]
+		i := row.find(jc)
+		if i < 0 {
 			continue
 		}
-		delete(row, j)
-		for k, jc := range rowB {
-			s.addCoeffMul(row, k, factor, jc)
-		}
-		s.putRat(factor)
+		factor := row.vals[i]
+		s.mergeScaled(row, i, factor, src)
 	}
 }
 
-// addCoeffMul adds factor*jc into row[k], drawing fresh entries from the
-// rational pool and recycling entries that cancel to zero.
-func (s *simplex) addCoeffMul(row map[int]*big.Rat, k int, factor, jc *big.Rat) {
-	s.prod.Mul(factor, jc)
-	if cur, ok := row[k]; ok {
-		cur.Add(cur, s.prod)
-		if cur.Sign() == 0 {
-			delete(row, k)
-			s.putRat(cur)
+// mergeScaled rewrites dst (minus the entry at skip) plus factor*src into
+// dst, via the scratch buffers: the merged result lands in the scratch
+// slices, which are then swapped with dst's storage, so dst's old backing
+// arrays become the next merge's scratch.
+func (s *simplex) mergeScaled(dst *sparseRow, skip int, factor rat64, src *sparseRow) {
+	needed := len(dst.cols) + len(src.cols)
+	reused := cap(s.mcols) >= needed && cap(s.mvals) >= needed
+	mc, mv := s.mcols[:0], s.mvals[:0]
+	di, si := 0, 0
+	for di < len(dst.cols) || si < len(src.cols) {
+		if di == skip {
+			di++
+			continue
 		}
-	} else if s.prod.Sign() != 0 {
-		r := s.getRat()
-		r.Set(s.prod)
-		row[k] = r
+		var dc, sc int32
+		hasD, hasS := di < len(dst.cols), si < len(src.cols)
+		if hasD {
+			dc = dst.cols[di]
+		}
+		if hasS {
+			sc = src.cols[si]
+		}
+		switch {
+		case hasD && (!hasS || dc < sc):
+			mc = append(mc, dc)
+			mv = append(mv, dst.vals[di])
+			di++
+		case hasS && (!hasD || sc < dc):
+			// factor and src values are nonzero, and exact rational products
+			// of nonzeros are nonzero.
+			mc = append(mc, sc)
+			mv = append(mv, s.mul(factor, src.vals[si]))
+			si++
+		default: // dc == sc
+			sum := s.addMul(dst.vals[di], factor, src.vals[si])
+			if !sum.IsZero() {
+				mc = append(mc, dc)
+				mv = append(mv, sum)
+			}
+			di++
+			si++
+		}
 	}
+	if reused {
+		s.rowReuse++
+	}
+	s.mcols, dst.cols = dst.cols, mc
+	s.mvals, dst.vals = dst.vals, mv
 }
 
 // concreteDelta computes a positive rational value for the symbolic delta
 // such that substituting it preserves every currently satisfied bound.
 func (s *simplex) concreteDelta() *big.Rat {
 	delta := big.NewRat(1, 1)
-	consider := func(lo, hi DRat) {
-		// Need lo <= hi after substitution: (hi.A - lo.A) + (hi.B - lo.B)*d >= 0.
-		da := new(big.Rat).Sub(hi.A, lo.A)
-		db := new(big.Rat).Sub(hi.B, lo.B)
+	consider := func(lo, hi drat64) {
+		// Need lo <= hi after substitution: (hi.a - lo.a) + (hi.b - lo.b)*d >= 0.
+		da := new(big.Rat).Sub(hi.a.toBig(), lo.a.toBig())
+		db := new(big.Rat).Sub(hi.b.toBig(), lo.b.toBig())
 		if db.Sign() >= 0 {
 			return // holds for any positive delta
 		}
-		// d <= da / -db; da > 0 here because the DRat order holds.
+		// d <= da / -db; da > 0 here because the delta-rational order holds.
 		limit := new(big.Rat).Quo(da, new(big.Rat).Neg(db))
 		if limit.Cmp(delta) < 0 {
 			delta.Set(limit)
@@ -518,5 +632,5 @@ func (s *simplex) concreteDelta() *big.Rat {
 // value returns the concrete rational value of variable v using the given
 // delta substitution.
 func (s *simplex) value(v int, delta *big.Rat) *big.Rat {
-	return s.beta[v].Substitute(delta)
+	return s.beta[v].substitute(delta)
 }

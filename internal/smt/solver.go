@@ -31,11 +31,42 @@ func (r Result) String() string {
 type Stats struct {
 	Decisions    int64
 	Conflicts    int64
-	Propagations int64
+	Propagations int64 // boolean (watched-literal) propagations
+	TheoryProps  int64 // theory-level bound propagations (implied atom literals)
 	Pivots       int64
+	Rat64FastOps int64 // hybrid-rational ops completed on the int64 fast path
+	Rat64BigOps  int64 // hybrid-rational ops that fell back to big.Rat
+	RowPoolReuse int64 // pivot merges served from recycled row storage
 	SATVars      int
 	Clauses      int
 	RealVars     int
+}
+
+// Add accumulates o's effort counters into s. The size gauges (SATVars,
+// Clauses, RealVars) take the maximum — summing problem sizes across
+// independent solvers would be meaningless.
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Conflicts += o.Conflicts
+	s.Propagations += o.Propagations
+	s.TheoryProps += o.TheoryProps
+	s.Pivots += o.Pivots
+	s.Rat64FastOps += o.Rat64FastOps
+	s.Rat64BigOps += o.Rat64BigOps
+	s.RowPoolReuse += o.RowPoolReuse
+	s.SATVars = max(s.SATVars, o.SATVars)
+	s.Clauses = max(s.Clauses, o.Clauses)
+	s.RealVars = max(s.RealVars, o.RealVars)
+}
+
+// FastPathPercent is the share of hybrid-rational operations that completed
+// on the int64 fast path, in percent (100 when no operations ran).
+func (s Stats) FastPathPercent() float64 {
+	total := s.Rat64FastOps + s.Rat64BigOps
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(s.Rat64FastOps) / float64(total)
 }
 
 // Solver is an incremental SMT solver for QF_LRA. Typical use:
@@ -62,7 +93,29 @@ type Solver struct {
 	formSlacks   map[string]int    // canonical form key -> simplex var
 	tseitinCache map[*Formula]literal
 
+	// Theory-propagation index: the simplex variables that carry atoms, in
+	// first-use order (deterministic iteration), and the SAT variables of the
+	// atoms on each.
+	atomSlacks   []int
+	atomsBySlack map[int][]int
+
 	theoryHead int // trail index up to which bounds were sent to the theory
+
+	// NoPropagate disables theory-level bound propagation (implied atom
+	// literals derived from asserted bounds and tableau rows after each
+	// successful simplex check). Propagation never changes verdicts, but it
+	// does steer the search, so the differential harness runs both settings
+	// and asserts identical Sat/Unsat answers.
+	NoPropagate bool
+
+	// ForceBigRat routes every hybrid-rational operation in the theory solver
+	// through the big.Rat slow path (the int64 fast path is skipped even when
+	// values fit). Results are bit-identical by construction; the differential
+	// harness uses this to prove it on the seeded sweep.
+	ForceBigRat bool
+
+	theoryProps int64  // implied atom literals pushed into the SAT core
+	lastPropRev uint64 // simplex boundRev at the last propagation round
 
 	// MaxConflicts bounds the search effort per Check call; 0 means
 	// unlimited. When exceeded, Check returns an error matching both
@@ -175,6 +228,7 @@ func NewSolver() *Solver {
 		atomVars:     make(map[string]int),
 		formSlacks:   make(map[string]int),
 		tseitinCache: make(map[*Formula]literal),
+		atomsBySlack: make(map[int][]int),
 		slackDefs:    make(map[int][]LinTerm),
 	}
 	if certifyDefault.Load() {
@@ -333,6 +387,7 @@ func (s *Solver) check() (Result, error) {
 		s.certSpoiled = true
 	}
 	s.simp.certify = s.Certify
+	s.simp.forceBig = s.ForceBigRat
 	if s.core.unsatisfiable {
 		return Unsat, nil
 	}
@@ -433,6 +488,14 @@ func (s *Solver) check() (Result, error) {
 			continue
 		}
 
+		// Theory-consistent fixpoint: derive implied atom literals from the
+		// current bounds and tableau before spending a boolean decision. Any
+		// propagated literal goes back through BCP (and then the theory) at
+		// the top of the loop.
+		if s.theoryPropagate() {
+			continue
+		}
+
 		if conflictsThisRestart >= conflictBudget {
 			restartCount++
 			conflictBudget = restartUnit * luby(restartCount)
@@ -456,7 +519,18 @@ func (s *Solver) check() (Result, error) {
 
 		v := s.core.pickBranchVar()
 		if v < 0 {
-			// Complete assignment, theory-consistent: SAT.
+			// Complete assignment, theory-consistent: SAT. Unlike a level-0
+			// Unsat (which is consumed when found and must therefore win over
+			// an expired budget), a Sat verdict is re-derivable, so poll the
+			// budget first: theory propagation can finish small queries
+			// without reaching any other poll point, and an exhausted budget
+			// must not slip through to a verdict.
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return 0, errDeadlineBudget
+			}
+			if s.interrupted() {
+				return 0, ErrCanceled
+			}
 			tc, err := s.simp.checkWithin(deadline)
 			if err != nil {
 				return 0, err
@@ -502,11 +576,11 @@ func (s *Solver) drainTheory() *theoryConflict {
 			continue
 		}
 		var isUpper bool
-		var val DRat
+		var val drat64
 		if l.negated() {
-			isUpper, val = info.negBound()
+			isUpper, val = !info.isUpper, info.nVal
 		} else {
-			isUpper, val = info.posBound()
+			isUpper, val = info.isUpper, info.pVal
 		}
 		if confl := s.simp.assertBound(info.slack, isUpper, val, l); confl != nil {
 			return confl
@@ -617,7 +691,11 @@ func (s *Solver) Stats() Stats {
 		Decisions:    s.core.decisions,
 		Conflicts:    s.core.conflicts,
 		Propagations: s.core.propagations,
+		TheoryProps:  s.theoryProps,
 		Pivots:       int64(s.simp.pivots),
+		Rat64FastOps: s.simp.fastOps,
+		Rat64BigOps:  s.simp.bigOps,
+		RowPoolReuse: s.simp.rowReuse,
 		SATVars:      s.core.numVars,
 		Clauses:      len(s.core.clauses),
 		RealVars:     s.simp.nVars,
