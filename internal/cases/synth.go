@@ -3,6 +3,7 @@ package cases
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"gridattack/internal/grid"
 	"gridattack/internal/measure"
@@ -131,40 +132,88 @@ type Case struct {
 	Plan *measure.Plan
 }
 
-// Registry returns the paper's evaluation systems keyed by name:
-// paper5, ieee14, synth30, synth57, synth118. Generator counts for the
-// synthetic systems follow the paper (6, 7, and 23).
-func Registry() map[string]Case {
-	out := map[string]Case{}
-	p5 := Paper5Bus()
-	out["paper5"] = Case{Grid: p5, Plan: Paper5PlanCase2()}
-	i14 := IEEE14Bus()
-	out["ieee14"] = Case{Grid: i14, Plan: measure.FullPlan(i14.NumLines(), i14.NumBuses())}
-	for _, cfg := range []SynthConfig{
-		{Name: "synth30", Buses: 30, Lines: 41, Generators: 6, Seed: 30},
-		{Name: "synth57", Buses: 57, Lines: 80, Generators: 7, Seed: 57},
-		{Name: "synth118", Buses: 118, Lines: 186, Generators: 23, Seed: 118},
-	} {
-		g, err := Synthetic(cfg)
-		if err != nil {
-			panic("cases: registry generation failed: " + err.Error())
-		}
-		out[cfg.Name] = Case{Grid: g, Plan: measure.FullPlan(g.NumLines(), g.NumBuses())}
-	}
-	return out
+// synthConfigs parameterizes every synthetic registry case. synth30/57/118
+// follow the paper's generator counts (6, 7, 23); synth300 and synth1354
+// match the dimensions of the IEEE 300-bus system (411 branches, 69
+// generators) and the 1354-bus PEGASE system (1991 branches, 260
+// generators), extending the Fig. 4(a) scalability sweep beyond the paper.
+var synthConfigs = map[string]SynthConfig{
+	"synth30":   {Name: "synth30", Buses: 30, Lines: 41, Generators: 6, Seed: 30},
+	"synth57":   {Name: "synth57", Buses: 57, Lines: 80, Generators: 7, Seed: 57},
+	"synth118":  {Name: "synth118", Buses: 118, Lines: 186, Generators: 23, Seed: 118},
+	"synth300":  {Name: "synth300", Buses: 300, Lines: 411, Generators: 69, Seed: 300},
+	"synth1354": {Name: "synth1354", Buses: 1354, Lines: 1991, Generators: 260, Seed: 1354},
 }
 
-// ByName returns one registry case.
-func ByName(name string) (Case, error) {
-	c, ok := Registry()[name]
+// caseMemo caches built cases so repeated Registry/ByName calls do not
+// regenerate (and re-size) every system. Entries are handed out as clones:
+// callers may freely mutate what they receive.
+var (
+	caseMu   sync.Mutex
+	caseMemo = map[string]Case{}
+)
+
+// buildCase constructs one case from scratch.
+func buildCase(name string) (Case, error) {
+	switch name {
+	case "paper5":
+		return Case{Grid: Paper5Bus(), Plan: Paper5PlanCase2()}, nil
+	case "ieee14":
+		g := IEEE14Bus()
+		return Case{Grid: g, Plan: measure.FullPlan(g.NumLines(), g.NumBuses())}, nil
+	}
+	cfg, ok := synthConfigs[name]
 	if !ok {
 		return Case{}, fmt.Errorf("cases: unknown case %q", name)
 	}
-	return c, nil
+	g, err := Synthetic(cfg)
+	if err != nil {
+		return Case{}, err
+	}
+	return Case{Grid: g, Plan: measure.FullPlan(g.NumLines(), g.NumBuses())}, nil
+}
+
+// ByName returns one registry case (a private clone).
+func ByName(name string) (Case, error) {
+	caseMu.Lock()
+	defer caseMu.Unlock()
+	c, ok := caseMemo[name]
+	if !ok {
+		var err error
+		c, err = buildCase(name)
+		if err != nil {
+			return Case{}, err
+		}
+		caseMemo[name] = c
+	}
+	return Case{Grid: c.Grid.Clone(), Plan: c.Plan.Clone()}, nil
+}
+
+// Registry returns the paper's evaluation systems keyed by name: paper5,
+// ieee14, synth30, synth57, synth118. The larger scalability cases
+// (synth300, synth1354) are available through ByName and Names but are not
+// materialized here, keeping Registry cheap for sweep drivers that only
+// touch the paper set.
+func Registry() map[string]Case {
+	out := map[string]Case{}
+	for _, name := range EvaluationOrder() {
+		c, err := ByName(name)
+		if err != nil {
+			panic("cases: registry generation failed: " + err.Error())
+		}
+		out[name] = c
+	}
+	return out
 }
 
 // EvaluationOrder returns the case names in the order the paper's scalability
 // figures sweep them.
 func EvaluationOrder() []string {
 	return []string{"paper5", "ieee14", "synth30", "synth57", "synth118"}
+}
+
+// Names returns every available case name in sweep order, including the
+// large scalability systems beyond the paper's set.
+func Names() []string {
+	return append(EvaluationOrder(), "synth300", "synth1354")
 }

@@ -1,0 +1,104 @@
+package cases_test
+
+import (
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/opf"
+)
+
+// TestBigCaseDimensions validates the scalability systems added beyond the
+// paper's set: real-system dimension matching (IEEE 300-bus, 1354-bus
+// PEGASE), connectivity, and a feasible OPF. synth1354 is skipped under
+// -short.
+func TestBigCaseDimensions(t *testing.T) {
+	specs := []struct {
+		name                     string
+		buses, lines, generators int
+		big                      bool
+	}{
+		{"synth300", 300, 411, 69, false},
+		{"synth1354", 1354, 1991, 260, true},
+	}
+	for _, s := range specs {
+		if s.big && testing.Short() {
+			t.Logf("skipping %s under -short", s.name)
+			continue
+		}
+		c, err := cases.ByName(s.name)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		g := c.Grid
+		if g.NumBuses() != s.buses || g.NumLines() != s.lines {
+			t.Fatalf("%s: %d buses / %d lines, want %d / %d", s.name, g.NumBuses(), g.NumLines(), s.buses, s.lines)
+		}
+		if len(g.Generators) != s.generators {
+			t.Fatalf("%s: %d generators, want %d", s.name, len(g.Generators), s.generators)
+		}
+		if !g.Connected(g.TrueTopology()) {
+			t.Fatalf("%s: not connected", s.name)
+		}
+		if c.Plan.M() != 2*s.lines+s.buses {
+			t.Fatalf("%s: plan has %d measurements, want %d", s.name, c.Plan.M(), 2*s.lines+s.buses)
+		}
+		if s.big {
+			// The dense-tableau simplex cannot handle a 1354-bus OPF in test
+			// time; this case exists to exercise the sparse linear-algebra
+			// layers, so validate it with the (sparse-backed) power flow.
+			total := g.TotalLoad()
+			gen := make([]float64, g.NumBuses())
+			gen[g.RefBus-1] = total
+			if _, err := g.SolvePowerFlow(g.TrueTopology(), gen); err != nil {
+				t.Fatalf("%s: power flow: %v", s.name, err)
+			}
+			t.Logf("%s: power flow solved (total load %.1f)", s.name, total)
+			continue
+		}
+		sol, err := opf.Solve(g, g.TrueTopology(), nil)
+		if err != nil {
+			t.Fatalf("%s: attack-free OPF: %v", s.name, err)
+		}
+		if sol.Cost <= 0 {
+			t.Fatalf("%s: OPF cost %v, want positive", s.name, sol.Cost)
+		}
+		t.Logf("%s: OPF cost %.1f", s.name, sol.Cost)
+	}
+}
+
+// TestNamesAndRegistryScope: Names exposes the big cases, Registry stays on
+// the paper set, and memoized cases are handed out as private clones.
+func TestNamesAndRegistryScope(t *testing.T) {
+	names := cases.Names()
+	want := map[string]bool{"synth300": true, "synth1354": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Names() = %v is missing %v", names, want)
+	}
+	reg := cases.Registry()
+	if _, ok := reg["synth300"]; ok {
+		t.Fatal("Registry must not materialize the big scalability cases")
+	}
+	if len(reg) != len(cases.EvaluationOrder()) {
+		t.Fatalf("Registry has %d cases, want %d", len(reg), len(cases.EvaluationOrder()))
+	}
+
+	a, err := cases.ByName("synth30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Grid.Lines[0].Capacity = -12345
+	a.Plan.Taken[1] = !a.Plan.Taken[1]
+	b, err := cases.ByName("synth30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Grid.Lines[0].Capacity == -12345 {
+		t.Fatal("ByName must return a private grid clone")
+	}
+	if b.Plan.Taken[1] == a.Plan.Taken[1] {
+		t.Fatal("ByName must return a private plan clone")
+	}
+}

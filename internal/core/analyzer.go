@@ -110,6 +110,12 @@ type Analyzer struct {
 	// process-wide with the GRIDATTACK_CERTIFY environment variable.
 	Certify bool
 
+	// NoPrescreen disables the LODF-based candidate prescreen (see
+	// prescreen.go). The prescreen only skips verifications whose failure it
+	// can certify with a concrete cheap dispatch, so verdicts are identical
+	// either way; the knob exists for A/B validation and benchmarking.
+	NoPrescreen bool
+
 	// CheckpointPath enables crash-resumable analysis: every completed
 	// find–verify iteration is appended (fsync'd, hash-chained) to this
 	// journal file. Re-running with the same configuration and path replays
@@ -158,6 +164,14 @@ type Report struct {
 	AttackSearchTime time.Duration // cumulative attack-model solving time
 	VerifyTime       time.Duration // cumulative OPF verification time
 	Elapsed          time.Duration
+
+	// PrescreenPruned counts candidate verifications skipped by the LODF
+	// prescreen (0 when it is disabled or never certified a failure).
+	PrescreenPruned int
+
+	// LPStats summarizes the warm-started LP work under VerifyLP: total
+	// solves, how many re-used a cached optimal basis, and simplex pivots.
+	LPStats opf.WarmStats
 
 	// SolverStats aggregates SMT effort counters across the analysis: the
 	// attack model's solver lineage (clones inherit their parent's counters,
@@ -215,6 +229,15 @@ func (a *Analyzer) Run() (*Report, error) {
 		}
 	}
 
+	var pre *prescreener
+	if !a.NoPrescreen {
+		pre = newPrescreener(a.Grid, fac, threshold, base)
+	}
+	var ws *opf.WarmSolver
+	if a.Verify == 0 || a.Verify == VerifyLP {
+		ws = opf.NewWarmSolver(a.Grid)
+	}
+
 	par := a.Parallelism
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -222,6 +245,14 @@ func (a *Analyzer) Run() (*Report, error) {
 
 	rep := &Report{BaselineCost: base.Cost, Threshold: threshold}
 	acc := &statsAcc{}
+	defer func() {
+		if pre != nil {
+			rep.PrescreenPruned = int(pre.pruned.Load())
+		}
+		if ws != nil {
+			rep.LPStats = ws.Stats()
+		}
+	}()
 
 	var jr *Journal
 	if a.CheckpointPath != "" {
@@ -251,7 +282,7 @@ func (a *Analyzer) Run() (*Report, error) {
 
 	if par > 1 {
 		if rep.Iterations < maxIter {
-			if err := a.runPipelined(rep, model, fac, threshold, maxIter, par, jr, acc); err != nil {
+			if err := a.runPipelined(rep, model, fac, ws, pre, threshold, maxIter, par, jr, acc); err != nil {
 				return nil, err
 			}
 		} else {
@@ -285,7 +316,7 @@ func (a *Analyzer) Run() (*Report, error) {
 		rep.Iterations++
 
 		t1 := time.Now()
-		cost, reached, err := a.verify(context.Background(), v, fac, threshold, 1, acc)
+		cost, reached, err := a.verify(context.Background(), v, fac, ws, pre, threshold, 1, acc)
 		rep.VerifyTime += time.Since(t1)
 		if errors.Is(err, smt.ErrCanceled) {
 			rep.Canceled = true
@@ -434,7 +465,7 @@ func (a *Analyzer) replayCheckpoint(rep *Report, model *attack.Model, jr *Journa
 // The verification runs a stable solver portfolio of width par-1, the
 // speculative search a sequential solver — together they occupy the par
 // workers the caller granted.
-func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, threshold float64, maxIter, par int, jr *Journal, acc *statsAcc) error {
+func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Factors, ws *opf.WarmSolver, pre *prescreener, threshold float64, maxIter, par int, jr *Journal, acc *statsAcc) error {
 	// The surviving attack-model lineage carries cumulative counters (Clone
 	// copies them), so reading the final model once covers the whole chain
 	// of speculative clones that became the model.
@@ -478,7 +509,7 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 		vch := make(chan verifyResult, 1)
 		go func(v *attack.Vector) {
 			t := time.Now()
-			cost, reached, err := a.verify(ctx, v, fac, threshold, max(1, par-1), acc)
+			cost, reached, err := a.verify(ctx, v, fac, ws, pre, threshold, max(1, par-1), acc)
 			vch <- verifyResult{cost: cost, reached: reached, err: err, elapsed: time.Since(t)}
 		}(v)
 
@@ -565,14 +596,28 @@ func (a *Analyzer) runPipelined(rep *Report, model *attack.Model, fac *dist.Fact
 // when the resulting minimum cost is at least the threshold while OPF still
 // converges (Eq. 38: the attacker avoids non-convergent outcomes). par is
 // the solver-portfolio width for the SMT backend (<= 1 = sequential).
-func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Factors, threshold float64, par int, acc *statsAcc) (float64, bool, error) {
+//
+// The LODF prescreen runs first when enabled: a candidate whose failure it
+// certifies (a concrete cheap dispatch stays below the threshold with all
+// post-outage flows in bounds) skips the expensive verification entirely,
+// with the witness cost standing in for the OPF minimum.
+func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Factors, ws *opf.WarmSolver, pre *prescreener, threshold float64, par int, acc *statsAcc) (float64, bool, error) {
+	if cost, ok := pre.prune(v); ok {
+		return cost, false, nil
+	}
 	mode := a.Verify
 	if mode == 0 {
 		mode = VerifyLP
 	}
 	switch mode {
 	case VerifyLP:
-		sol, err := opf.Solve(a.Grid, v.MappedTopology, v.ObservedLoads)
+		var sol *opf.Solution
+		var err error
+		if ws != nil {
+			sol, err = ws.SolveTopology(v.MappedTopology, v.ObservedLoads)
+		} else {
+			sol, err = opf.Solve(a.Grid, v.MappedTopology, v.ObservedLoads)
+		}
 		if errors.Is(err, opf.ErrInfeasible) {
 			return 0, false, nil // Eq. 38: non-convergence is not a success
 		}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"gridattack/internal/attack"
+	"gridattack/internal/cases"
+	"gridattack/internal/lp"
+	"gridattack/internal/opf"
+)
+
+// abAnalyzer builds the Case Study 1 analyzer used by the A/B tests.
+func abAnalyzer(target float64, verify VerifyMode) *Analyzer {
+	return &Analyzer{
+		Grid: cases.Paper5Bus(),
+		Plan: cases.Paper5PlanCase1(),
+		Capability: attack.Capability{
+			MaxMeasurements:       8,
+			MaxBuses:              3,
+			RequireTopologyChange: true,
+		},
+		TargetIncreasePercent: target,
+		OperatingDispatch:     cases.Paper5OperatingDispatch(),
+		Verify:                verify,
+		Parallelism:           1,
+	}
+}
+
+// reportKernel is the part of a Report that must be invariant under the
+// prescreen and warm-start optimizations.
+type reportKernel struct {
+	baseline, threshold float64
+	found, exhausted    bool
+	iterations          int
+	attackedCost        float64
+	excluded            string
+}
+
+func kernel(rep *Report) reportKernel {
+	k := reportKernel{
+		baseline:     rep.BaselineCost,
+		threshold:    rep.Threshold,
+		found:        rep.Found,
+		exhausted:    rep.Exhausted,
+		iterations:   rep.Iterations,
+		attackedCost: rep.AttackedCost,
+	}
+	if rep.Vector != nil {
+		k.excluded = rep.Vector.String()
+	}
+	return k
+}
+
+// TestPrescreenWarmStartABIdentity: across the Fig. 2 cost-cap ladder, every
+// report field that constitutes a verdict must be bit-identical with the
+// optimizations enabled and disabled, for both LP-backed verify modes.
+func TestPrescreenWarmStartABIdentity(t *testing.T) {
+	for _, mode := range []VerifyMode{VerifyLP, VerifyShift} {
+		for _, target := range []float64{1, 3, 6, 12} {
+			// Optimized: prescreen on, warm starts on (the defaults).
+			opt := abAnalyzer(target, mode)
+			repOpt, err := opt.Run()
+			if err != nil {
+				t.Fatalf("%v target=%v optimized: %v", mode, target, err)
+			}
+
+			// Reference: prescreen off, warm starts off.
+			lp.NoWarmStart = true
+			ref := abAnalyzer(target, mode)
+			ref.NoPrescreen = true
+			repRef, err := ref.Run()
+			lp.NoWarmStart = false
+			if err != nil {
+				t.Fatalf("%v target=%v reference: %v", mode, target, err)
+			}
+
+			if kernel(repOpt) != kernel(repRef) {
+				t.Fatalf("%v target=%v verdict mismatch:\noptimized: %+v\nreference: %+v",
+					mode, target, kernel(repOpt), kernel(repRef))
+			}
+			if repRef.PrescreenPruned != 0 {
+				t.Fatalf("reference run pruned %d candidates with NoPrescreen set", repRef.PrescreenPruned)
+			}
+			t.Logf("%v target=%v%%: found=%v iters=%d pruned=%d lp=%+v",
+				mode, target, repOpt.Found, repOpt.Iterations, repOpt.PrescreenPruned, repOpt.LPStats)
+		}
+	}
+}
+
+// TestPrescreenPrune exercises the pruning decision directly: with ample
+// line capacity the merit-order witness is feasible, so any threshold above
+// its cost must prune an eligible single-exclusion candidate, and thresholds
+// at or below it must not.
+func TestPrescreenPrune(t *testing.T) {
+	g := cases.IEEE14Bus()
+	for i := range g.Lines {
+		g.Lines[i].Capacity *= 10 // decongest: the witness flows fit easily
+	}
+	base, err := opf.Solve(g, g.TrueTopology(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := newPrescreener(g, nil, base.Cost*1.05, nil)
+	if ps == nil {
+		t.Fatal("prescreener unavailable")
+	}
+	v := &attack.Vector{
+		ExcludedLines: []int{5},
+		ObservedLoads: g.LoadVector(),
+	}
+	cost, ok := ps.prune(v)
+	if !ok {
+		t.Fatal("eligible candidate with a feasible cheap witness must prune")
+	}
+	if cost >= base.Cost*1.05 {
+		t.Fatalf("witness cost %v not below the threshold %v", cost, base.Cost*1.05)
+	}
+	if ps.pruned.Load() != 1 {
+		t.Fatalf("pruned counter = %d, want 1", ps.pruned.Load())
+	}
+
+	// Multi-line and included-line candidates are out of scope: never prune.
+	if _, ok := ps.prune(&attack.Vector{ExcludedLines: []int{5, 6}, ObservedLoads: g.LoadVector()}); ok {
+		t.Fatal("multi-exclusion candidate must not prune")
+	}
+	if _, ok := ps.prune(&attack.Vector{IncludedLines: []int{5}, ObservedLoads: g.LoadVector()}); ok {
+		t.Fatal("included-line candidate must not prune")
+	}
+
+	// A threshold below the witness cost cannot be certified.
+	tight := newPrescreener(g, nil, cost*0.999, nil)
+	if _, ok := tight.prune(v); ok {
+		t.Fatal("threshold below the witness cost must not prune")
+	}
+}
+
+// TestPrescreenWitness: the merit-order witness must balance the demand
+// exactly and respect generator limits. (Its cost may undercut the OPF
+// optimum when the dispatch violates line capacities — that is exactly why
+// prune() checks the flows before trusting it.)
+func TestPrescreenWitness(t *testing.T) {
+	g := cases.IEEE14Bus()
+	ps := newPrescreener(g, nil, 1, nil)
+	if ps == nil {
+		t.Fatal("prescreener unavailable on a meshed grid")
+	}
+	gen, cost, ok := ps.witness(g.TotalLoad())
+	if !ok {
+		t.Fatal("witness infeasible for the nominal load")
+	}
+	if cost <= 0 {
+		t.Fatalf("witness cost = %v, want positive", cost)
+	}
+	var tot float64
+	for _, p := range gen {
+		tot += p
+	}
+	if d := tot - g.TotalLoad(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("witness dispatch off balance by %v", d)
+	}
+	perBus := make(map[int]float64)
+	for _, gn := range g.Generators {
+		perBus[gn.Bus] += gn.MaxP
+	}
+	for i, p := range gen {
+		if p < -1e-12 || p > perBus[i+1]+1e-9 {
+			t.Fatalf("bus %d dispatch %v outside [0, %v]", i+1, p, perBus[i+1])
+		}
+	}
+	// An undeliverable demand must be rejected rather than mis-certified.
+	if _, _, ok := ps.witness(1e9); ok {
+		t.Fatal("witness must fail when the fleet cannot serve the demand")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/opf"
+)
+
+// TestScreenSoundness checks the screen's one-sided guarantee on every small
+// case: a Safe line's exclusion, fully solved, must land strictly below the
+// threshold; an Islanding line must actually disconnect the network; and the
+// three classes must partition the candidate set.
+func TestScreenSoundness(t *testing.T) {
+	for _, name := range []string{"paper5", "ieee14", "synth30", "synth57"} {
+		c, err := cases.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.Grid
+		rep, err := ScreenExclusions(g, 1.5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Safe+rep.Islanding+rep.Flagged != rep.Candidates {
+			t.Fatalf("%s: classes %d+%d+%d do not partition %d candidates",
+				name, rep.Safe, rep.Islanding, rep.Flagged, rep.Candidates)
+		}
+		if rep.Flagged != len(rep.FlaggedLines) {
+			t.Fatalf("%s: Flagged=%d but %d listed lines", name, rep.Flagged, len(rep.FlaggedLines))
+		}
+		if rep.Threshold <= rep.BaselineCost {
+			t.Fatalf("%s: threshold %v not above baseline %v", name, rep.Threshold, rep.BaselineCost)
+		}
+
+		flagged := make(map[int]bool, len(rep.FlaggedLines))
+		for _, id := range rep.FlaggedLines {
+			flagged[id] = true
+		}
+		topo := g.TrueTopology()
+		for _, ln := range g.Lines {
+			if !ln.CanAlterStatus || !ln.InService || !topo.Contains(ln.ID) {
+				continue
+			}
+			excl := topo.WithExcluded(ln.ID)
+			if !g.Connected(excl) {
+				continue // counted under Islanding; verified via the totals above
+			}
+			sol, err := opf.Solve(g, excl, nil)
+			if flagged[ln.ID] {
+				// Flagged means "verify me": either verdict (or infeasibility)
+				// is acceptable.
+				continue
+			}
+			// Safe: the certificate promises the full OPF stays below the
+			// threshold.
+			if err != nil {
+				if errors.Is(err, opf.ErrInfeasible) {
+					t.Errorf("%s: safe line %d is infeasible when excluded", name, ln.ID)
+					continue
+				}
+				t.Fatalf("%s: line %d: %v", name, ln.ID, err)
+			}
+			if sol.Cost >= rep.Threshold {
+				t.Errorf("%s: safe line %d verifies at cost %v >= threshold %v",
+					name, ln.ID, sol.Cost, rep.Threshold)
+			}
+		}
+	}
+}
+
+// TestScreenConfig: a non-positive target is a config error.
+func TestScreenConfig(t *testing.T) {
+	c, err := cases.ByName("paper5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScreenExclusions(c.Grid, 0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("got %v, want ErrConfig", err)
+	}
+}

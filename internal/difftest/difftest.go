@@ -10,17 +10,18 @@ import (
 
 // Layer names accepted by Config.Layers.
 const (
-	LayerSMT  = "smt"
-	LayerOPF  = "opf"
-	LayerWLS  = "wls"
-	LayerDist = "dist"
-	LayerMeta = "meta"
-	LayerCore = "core"
+	LayerSMT    = "smt"
+	LayerOPF    = "opf"
+	LayerWLS    = "wls"
+	LayerDist   = "dist"
+	LayerSparse = "sparse"
+	LayerMeta   = "meta"
+	LayerCore   = "core"
 )
 
 // AllLayers returns every layer name in execution order.
 func AllLayers() []string {
-	return []string{LayerSMT, LayerOPF, LayerWLS, LayerDist, LayerMeta, LayerCore}
+	return []string{LayerSMT, LayerOPF, LayerWLS, LayerDist, LayerSparse, LayerMeta, LayerCore}
 }
 
 // Config parameterizes one harness run.
@@ -132,9 +133,10 @@ func Run(cfg Config) (*Summary, error) {
 
 	sum := &Summary{}
 	grids := map[string]systemCheck{
-		LayerOPF:  func(sys *System, _ *rand.Rand) string { return checkOPF(sys) },
-		LayerWLS:  checkWLS,
-		LayerDist: func(sys *System, _ *rand.Rand) string { return checkDist(sys) },
+		LayerOPF:    func(sys *System, _ *rand.Rand) string { return checkOPF(sys) },
+		LayerWLS:    checkWLS,
+		LayerDist:   func(sys *System, _ *rand.Rand) string { return checkDist(sys) },
+		LayerSparse: checkSparse,
 	}
 	metas := map[string]systemCheck{
 		"meta/permutation":   propPermutation,
@@ -157,7 +159,7 @@ func Run(cfg Config) (*Summary, error) {
 			}
 		}
 
-		needGrid := layerOn[LayerOPF] || layerOn[LayerWLS] || layerOn[LayerDist] || layerOn[LayerMeta] || layerOn[LayerCore]
+		needGrid := layerOn[LayerOPF] || layerOn[LayerWLS] || layerOn[LayerDist] || layerOn[LayerSparse] || layerOn[LayerMeta] || layerOn[LayerCore]
 		if !needGrid {
 			sum.Cases++
 			continue
@@ -190,7 +192,7 @@ func Run(cfg Config) (*Summary, error) {
 			return nil
 		}
 
-		for _, layer := range []string{LayerOPF, LayerWLS, LayerDist} {
+		for _, layer := range []string{LayerOPF, LayerWLS, LayerDist, LayerSparse} {
 			if layerOn[layer] {
 				if err := runCheck(layer, grids[layer]); err != nil {
 					return nil, err

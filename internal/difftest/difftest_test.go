@@ -30,6 +30,23 @@ func TestRunAllLayersClean(t *testing.T) {
 	}
 }
 
+// TestSparseLaneSweep: the sparse-vs-dense differential lane must agree on
+// 200 seeded systems with zero discrepancies (the PR's acceptance bar for
+// the sparse substrate). The lane is cheap — no exact-rational oracles —
+// so the full sweep runs even under -short.
+func TestSparseLaneSweep(t *testing.T) {
+	sum, err := Run(Config{N: 200, Seed: 7, Layers: []string{LayerSparse}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range sum.Discrepancies {
+		t.Errorf("discrepancy: %s", d)
+	}
+	if sum.Cases != 200 || sum.ChecksRun != 200 {
+		t.Errorf("cases=%d checks=%d, want 200/200", sum.Cases, sum.ChecksRun)
+	}
+}
+
 func TestRunUnknownLayer(t *testing.T) {
 	if _, err := Run(Config{N: 1, Seed: 1, Layers: []string{"nope"}}); err == nil {
 		t.Fatal("Run accepted an unknown layer name")

@@ -1,0 +1,128 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridattack/internal/dist"
+	"gridattack/internal/se"
+)
+
+// The sparse lane cross-checks the two numeric backends against each other:
+// every quantity the sparse substrate computes (susceptance assembly, PTDF
+// flows, LODF outage predictions, WLS estimates and their bad-data verdicts)
+// must match the dense reference path on the same system. Generated systems
+// are small enough that the Auto heuristics would pick dense, so both
+// backends are forced explicitly.
+
+// checkSparse compares the sparse and dense backends layer by layer. Empty
+// return means agreement.
+func checkSparse(sys *System, _ *rand.Rand) string {
+	g := sys.Grid
+	t := g.TrueTopology()
+
+	// Susceptance assembly must agree entry for entry (bit-identical: the
+	// stable builder sums duplicates in stamping order).
+	dense := g.BMatrix(t)
+	sp := g.BSparse(t)
+	for i := 0; i < dense.Rows(); i++ {
+		for j := 0; j < dense.Cols(); j++ {
+			if sp.At(i, j) != dense.At(i, j) {
+				return fmt.Sprintf("B[%d][%d]: sparse %v != dense %v", i, j, sp.At(i, j), dense.At(i, j))
+			}
+		}
+	}
+
+	// Distribution factors: PTDF rows, flows, and every outage prediction.
+	fd, err := dist.NewWith(g, t, dist.Dense)
+	if err != nil {
+		return fmt.Sprintf("dist dense backend: %v", err)
+	}
+	fs, err := dist.NewWith(g, t, dist.Sparse)
+	if err != nil {
+		return fmt.Sprintf("dist sparse backend: %v", err)
+	}
+	for _, ln := range t.Lines() {
+		for bus := 1; bus <= g.NumBuses(); bus++ {
+			pd, ps := fd.PTDF(ln, bus), fs.PTDF(ln, bus)
+			if math.Abs(pd-ps) > 1e-8 {
+				return fmt.Sprintf("PTDF(%d,%d): dense %v sparse %v", ln, bus, pd, ps)
+			}
+		}
+	}
+	dispatch := proportionalDispatch(g)
+	if dispatch == nil {
+		return ""
+	}
+	pf, err := g.SolvePowerFlow(t, dispatch)
+	if err != nil {
+		return fmt.Sprintf("power flow: %v", err)
+	}
+	flowsD, errD := fd.Flows(pf.Injection)
+	flowsS, errS := fs.Flows(pf.Injection)
+	if (errD == nil) != (errS == nil) {
+		return fmt.Sprintf("Flows error class: dense %v sparse %v", errD, errS)
+	}
+	for i := range flowsD {
+		if math.Abs(flowsD[i]-flowsS[i]) > 1e-8 {
+			return fmt.Sprintf("flow[%d]: dense %v sparse %v", i, flowsD[i], flowsS[i])
+		}
+	}
+	for _, out := range t.Lines() {
+		postD, errD := fd.FlowsAfterOutage(flowsD, out)
+		postS, errS := fs.FlowsAfterOutage(flowsS, out)
+		if (errD == nil) != (errS == nil) || (errors.Is(errD, dist.ErrRadial) != errors.Is(errS, dist.ErrRadial)) {
+			return fmt.Sprintf("FlowsAfterOutage(%d) error class: dense %v sparse %v", out, errD, errS)
+		}
+		if errD != nil {
+			continue
+		}
+		for i := range postD {
+			if math.Abs(postD[i]-postS[i]) > 1e-7 {
+				return fmt.Sprintf("post-outage flow[%d] (outage %d): dense %v sparse %v", i, out, postD[i], postS[i])
+			}
+		}
+	}
+
+	// WLS: estimates, residuals, verdicts, and observability.
+	z, err := sys.Plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		return fmt.Sprintf("telemetry: %v", err)
+	}
+	ed := se.NewEstimator(g, sys.Plan)
+	ed.Backend = se.BackendDense
+	es := se.NewEstimator(g, sys.Plan)
+	es.Backend = se.BackendSparse
+	rd, errD2 := ed.Estimate(t, z)
+	rs, errS2 := es.Estimate(t, z)
+	if (errD2 == nil) != (errS2 == nil) || (errors.Is(errD2, se.ErrUnobservable) != errors.Is(errS2, se.ErrUnobservable)) {
+		return fmt.Sprintf("Estimate error class: dense %v sparse %v", errD2, errS2)
+	}
+	if errD2 == nil {
+		for i := range rd.Theta {
+			if math.Abs(rd.Theta[i]-rs.Theta[i]) > 1e-7 {
+				return fmt.Sprintf("theta[%d]: dense %v sparse %v", i, rd.Theta[i], rs.Theta[i])
+			}
+		}
+		if math.Abs(rd.Residual-rs.Residual) > 1e-7 {
+			return fmt.Sprintf("residual: dense %v sparse %v", rd.Residual, rs.Residual)
+		}
+		if rd.BadData != rs.BadData {
+			return fmt.Sprintf("bad-data verdict: dense %v sparse %v", rd.BadData, rs.BadData)
+		}
+		if rd.DegreesOfFreedom != rs.DegreesOfFreedom {
+			return fmt.Sprintf("df: dense %d sparse %d", rd.DegreesOfFreedom, rs.DegreesOfFreedom)
+		}
+	}
+	od, errD3 := ed.Observable(t)
+	os, errS3 := es.Observable(t)
+	if (errD3 == nil) != (errS3 == nil) {
+		return fmt.Sprintf("Observable error class: dense %v sparse %v", errD3, errS3)
+	}
+	if errD3 == nil && od != os {
+		return fmt.Sprintf("observability: dense %v sparse %v", od, os)
+	}
+	return ""
+}

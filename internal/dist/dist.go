@@ -5,15 +5,27 @@
 // replaces the angle-based OPF constraints with shift factors and uses
 // LODF/LCDF to handle single-line exclusion/inclusion attacks without
 // rebuilding the network model.
+//
+// The implementation never forms B⁻¹. The reduced susceptance matrix is
+// factorized once (dense or sparse LU depending on system size) and every
+// factor is derived from per-line transfer vectors w_l = B⁻¹(e_from − e_to),
+// computed lazily and cached: by symmetry of B,
+//
+//	PTDF(l, j) = d_l · w_l[j]
+//
+// so one triangular solve yields a full PTDF row, and the same vector drives
+// all LODFs of an outage of line l.
 package dist
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"gridattack/internal/grid"
 	"gridattack/internal/linalg"
+	"gridattack/internal/linalg/sparse"
 )
 
 // ErrRadial indicates a factor is undefined because the operation would
@@ -21,28 +33,71 @@ import (
 // degenerate.
 var ErrRadial = errors.New("dist: factor undefined (network would split)")
 
-// Factors holds the PTDF matrix for one grid and topology.
+// Backend selects the linear-algebra path used to factorize B.
+type Backend int
+
+const (
+	// Auto picks Sparse for systems with at least sparseThreshold non-slack
+	// buses and Dense below that.
+	Auto Backend = iota
+	// Dense uses the dense LU from internal/linalg.
+	Dense
+	// Sparse uses the fill-reducing sparse LU from internal/linalg/sparse.
+	Sparse
+)
+
+// sparseThreshold is the reduced-system size at which Auto switches to the
+// sparse backend: below it the dense LU's constant factors win.
+const sparseThreshold = 64
+
+// Factors holds a factorization of the reduced susceptance matrix for one
+// grid and topology, with lazily cached per-line transfer vectors. Safe for
+// concurrent use.
 type Factors struct {
 	grid *grid.Grid
 	topo grid.Topology
-	// ptdf[i][j] is the change of flow on line i per unit injection at bus
-	// j+1 (withdrawn at the reference bus).
-	ptdf *linalg.Matrix
+
+	fact linalg.Factorization
+	// idx maps bus ID -> reduced index (-1 for the reference bus).
+	idx []int
+
+	mu sync.Mutex
+	// lineVec[line ID] = B⁻¹(e_from − e_to) in reduced coordinates, the
+	// transfer vector of the line; nil entries are not yet computed.
+	lineVec map[int][]float64
 }
 
-// New computes PTDFs for the grid under the given topology.
+// New computes factors for the grid under the given topology, selecting the
+// backend automatically.
 func New(g *grid.Grid, t grid.Topology) (*Factors, error) {
+	return NewWith(g, t, Auto)
+}
+
+// NewWith computes factors with an explicit backend choice.
+func NewWith(g *grid.Grid, t grid.Topology, backend Backend) (*Factors, error) {
 	if !g.Connected(t) {
 		return nil, fmt.Errorf("dist: %w", ErrRadial)
 	}
-	bm := g.BMatrix(t)
-	binv, err := linalg.Inverse(bm)
+	n := g.NumBuses() - 1
+	if backend == Auto {
+		if n >= sparseThreshold {
+			backend = Sparse
+		} else {
+			backend = Dense
+		}
+	}
+	var fact linalg.Factorization
+	var err error
+	switch backend {
+	case Sparse:
+		fact, err = sparse.Factorize(g.BSparse(t))
+	default:
+		fact, err = linalg.Factorize(g.BMatrix(t))
+	}
 	if err != nil {
-		return nil, fmt.Errorf("dist: B matrix inversion: %w", err)
+		return nil, fmt.Errorf("dist: B matrix factorization: %w", err)
 	}
 	b := g.NumBuses()
-	l := g.NumLines()
-	// Reduced index map.
 	idx := make([]int, b+1)
 	ri := 0
 	for _, bus := range g.Buses {
@@ -53,42 +108,107 @@ func New(g *grid.Grid, t grid.Topology) (*Factors, error) {
 		idx[bus.ID] = ri
 		ri++
 	}
-	ptdf := linalg.NewMatrix(l, b)
-	for _, ln := range g.Lines {
-		if !t.Contains(ln.ID) {
-			continue
-		}
-		fi, ti := idx[ln.From], idx[ln.To]
-		for j := 1; j <= b; j++ {
-			ji := idx[j]
-			if ji < 0 {
-				continue // injection at reference: zero by definition
-			}
-			var xf, xt float64
-			if fi >= 0 {
-				xf = binv.At(fi, ji)
-			}
-			if ti >= 0 {
-				xt = binv.At(ti, ji)
-			}
-			ptdf.Set(ln.ID-1, j-1, ln.Admittance*(xf-xt))
-		}
+	return &Factors{
+		grid:    g,
+		topo:    t,
+		fact:    fact,
+		idx:     idx,
+		lineVec: make(map[int][]float64),
+	}, nil
+}
+
+// transferVector returns (computing and caching on first use) the reduced
+// solution w = B⁻¹(e_from − e_to) for the line, or nil when the line is not
+// in the topology.
+func (f *Factors) transferVector(line int) []float64 {
+	ln := f.grid.Lines[line-1]
+	if !f.topo.Contains(ln.ID) {
+		return nil
 	}
-	return &Factors{grid: g, topo: t, ptdf: ptdf}, nil
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.lineVec[line]; ok {
+		return w
+	}
+	rhs := make([]float64, f.fact.Order())
+	if fi := f.idx[ln.From]; fi >= 0 {
+		rhs[fi] += 1
+	}
+	if ti := f.idx[ln.To]; ti >= 0 {
+		rhs[ti] -= 1
+	}
+	w, err := f.fact.Solve(rhs)
+	if err != nil {
+		// Solve on a successful factorization only fails on a malformed rhs
+		// length, which cannot happen here.
+		panic(fmt.Sprintf("dist: transfer solve for line %d: %v", line, err))
+	}
+	f.lineVec[line] = w
+	return w
 }
 
 // PTDF returns the sensitivity of line's flow to a unit injection at bus
-// (withdrawn at the reference bus).
+// (withdrawn at the reference bus). Lines outside the topology have zero
+// sensitivity.
 func (f *Factors) PTDF(line, bus int) float64 {
-	return f.ptdf.At(line-1, bus-1)
+	w := f.transferVector(line)
+	if w == nil {
+		return 0
+	}
+	ji := f.idx[bus]
+	if ji < 0 {
+		return 0 // injection at reference: zero by definition
+	}
+	return f.grid.Lines[line-1].Admittance * w[ji]
 }
 
-// Flows computes all line flows from net bus injections via the PTDF matrix.
+// Flows computes all line flows from net bus injections with a single
+// triangular solve (theta = B⁻¹ P, then branch equations).
 func (f *Factors) Flows(injections []float64) ([]float64, error) {
 	if len(injections) != f.grid.NumBuses() {
 		return nil, fmt.Errorf("dist: injection vector length %d, want %d", len(injections), f.grid.NumBuses())
 	}
-	return f.ptdf.MulVec(injections)
+	rhs := make([]float64, f.fact.Order())
+	for _, bus := range f.grid.Buses {
+		if ri := f.idx[bus.ID]; ri >= 0 {
+			rhs[ri] = injections[bus.ID-1]
+		}
+	}
+	theta, err := f.fact.Solve(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("dist: flow solve: %w", err)
+	}
+	out := make([]float64, f.grid.NumLines())
+	for _, ln := range f.grid.Lines {
+		if !f.topo.Contains(ln.ID) {
+			continue
+		}
+		var tf, tt float64
+		if fi := f.idx[ln.From]; fi >= 0 {
+			tf = theta[fi]
+		}
+		if ti := f.idx[ln.To]; ti >= 0 {
+			tt = theta[ti]
+		}
+		out[ln.ID-1] = ln.Admittance * (tf - tt)
+	}
+	return out, nil
+}
+
+// transferFlow returns PTDF(monitored, from(outaged)) - PTDF(monitored,
+// to(outaged)): the flow picked up by `monitored` per unit transferred across
+// the endpoints of `outaged`. Computed from the outaged line's cached
+// transfer vector so a whole outage scan costs one solve.
+func (f *Factors) transferFlow(monitored int, w []float64) float64 {
+	ln := f.grid.Lines[monitored-1]
+	var xf, xt float64
+	if fi := f.idx[ln.From]; fi >= 0 {
+		xf = w[fi]
+	}
+	if ti := f.idx[ln.To]; ti >= 0 {
+		xt = w[ti]
+	}
+	return ln.Admittance * (xf - xt)
 }
 
 // LODF returns the line outage distribution factor: the fraction of the
@@ -101,10 +221,9 @@ func (f *Factors) LODF(monitored, outaged int) (float64, error) {
 	if !f.topo.Contains(monitored) || !f.topo.Contains(outaged) {
 		return 0, fmt.Errorf("dist: LODF of lines outside the topology")
 	}
-	lnO := f.grid.Lines[outaged-1]
-	// PTDF of a transfer from the outaged line's from-bus to its to-bus.
-	ptdfMon := f.PTDF(monitored, lnO.From) - f.PTDF(monitored, lnO.To)
-	ptdfOut := f.PTDF(outaged, lnO.From) - f.PTDF(outaged, lnO.To)
+	w := f.transferVector(outaged)
+	ptdfMon := f.transferFlow(monitored, w)
+	ptdfOut := f.transferFlow(outaged, w)
 	den := 1 - ptdfOut
 	if math.Abs(den) < 1e-9 {
 		return 0, ErrRadial
@@ -125,8 +244,9 @@ func (f *Factors) FlowsAfterOutage(pre []float64, outaged int) ([]float64, error
 	// relying on a monitored line's LODF to hit the singular denominator —
 	// when the outaged line is the only line, the loop below would otherwise
 	// return a spurious all-zero "prediction".
-	lnO := f.grid.Lines[outaged-1]
-	if den := 1 - (f.PTDF(outaged, lnO.From) - f.PTDF(outaged, lnO.To)); math.Abs(den) < 1e-9 {
+	w := f.transferVector(outaged)
+	den := 1 - f.transferFlow(outaged, w)
+	if math.Abs(den) < 1e-9 {
 		return nil, ErrRadial
 	}
 	out := make([]float64, len(pre))
@@ -138,10 +258,7 @@ func (f *Factors) FlowsAfterOutage(pre []float64, outaged int) ([]float64, error
 		if !f.topo.Contains(ln.ID) {
 			continue
 		}
-		lodf, err := f.LODF(ln.ID, outaged)
-		if err != nil {
-			return nil, err
-		}
+		lodf := f.transferFlow(ln.ID, w) / den
 		out[ln.ID-1] = pre[ln.ID-1] + lodf*pre[outaged-1]
 	}
 	return out, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gridattack/internal/linalg"
+	"gridattack/internal/linalg/sparse"
 )
 
 // ConnectivityMatrix returns the l x b line-bus incidence matrix A for the
@@ -115,6 +116,89 @@ func (g *Grid) BMatrix(t Topology) *linalg.Matrix {
 		}
 	}
 	return m
+}
+
+// BSparse returns the reduced nodal susceptance matrix in compressed sparse
+// column form. It stamps the same entries as BMatrix (duplicates summed by
+// the builder), so the two agree exactly; the sparse form is the input to
+// the factorize-once solve paths at scale, where the dense (b-1)² layout is
+// the memory and time bottleneck.
+func (g *Grid) BSparse(t Topology) *sparse.CSC {
+	b := len(g.Buses)
+	idx := g.reducedIndex()
+	sb := sparse.NewBuilder(b-1, b-1)
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		fi, ti := idx[ln.From], idx[ln.To]
+		if fi >= 0 {
+			sb.Add(fi, fi, ln.Admittance)
+		}
+		if ti >= 0 {
+			sb.Add(ti, ti, ln.Admittance)
+		}
+		if fi >= 0 && ti >= 0 {
+			sb.Add(fi, ti, -ln.Admittance)
+			sb.Add(ti, fi, -ln.Admittance)
+		}
+	}
+	return sb.ToCSC()
+}
+
+// FactorizeB factorizes the reduced susceptance matrix for the topology,
+// choosing the sparse path for systems with at least sparseSolveThreshold
+// non-reference buses and the dense LU below that. Both results satisfy
+// linalg.Factorization.
+func (g *Grid) FactorizeB(t Topology) (linalg.Factorization, error) {
+	if len(g.Buses)-1 >= sparseSolveThreshold {
+		return sparse.Factorize(g.BSparse(t))
+	}
+	return linalg.Factorize(g.BMatrix(t))
+}
+
+// sparseSolveThreshold is the reduced-system size at which FactorizeB (and
+// thus DC power-flow solves) switches to the sparse LU.
+const sparseSolveThreshold = 64
+
+// ReducedMeasurementSparse returns the reduced measurement matrix (H with
+// the reference-bus column removed) in compressed sparse row form. Row
+// semantics match ReducedMeasurementMatrix exactly: rows 1..l are forward
+// line-flow measurements (≤2 nonzeros each), rows l+1..2l backward flows,
+// and rows 2l+1..2l+b the AᵀDA consumption block (bus degree + 1 nonzeros).
+// The dense construction materializes three l×b / b×b products; this stamps
+// the ~4l + Σdeg entries directly.
+func (g *Grid) ReducedMeasurementSparse(t Topology) (*sparse.CSR, error) {
+	idx := g.reducedIndex()
+	l, b := len(g.Lines), len(g.Buses)
+	sb := sparse.NewBuilder(2*l+b, b-1)
+	for _, ln := range g.Lines {
+		if !t.Contains(ln.ID) {
+			continue
+		}
+		fi, ti := idx[ln.From], idx[ln.To]
+		// Forward flow row (D*A) and backward flow row (-D*A).
+		if fi >= 0 {
+			sb.Add(ln.ID-1, fi, ln.Admittance)
+			sb.Add(l+ln.ID-1, fi, -ln.Admittance)
+		}
+		if ti >= 0 {
+			sb.Add(ln.ID-1, ti, -ln.Admittance)
+			sb.Add(l+ln.ID-1, ti, ln.Admittance)
+		}
+		// Consumption block A^T*D*A: stamp the line's contribution to the
+		// rows of both endpoints (the builder sums duplicates).
+		fr, tr := 2*l+ln.From-1, 2*l+ln.To-1
+		if fi >= 0 {
+			sb.Add(fr, fi, ln.Admittance)
+			sb.Add(tr, fi, -ln.Admittance)
+		}
+		if ti >= 0 {
+			sb.Add(fr, ti, -ln.Admittance)
+			sb.Add(tr, ti, ln.Admittance)
+		}
+	}
+	return sb.ToCSR(), nil
 }
 
 // reducedIndex maps bus ID -> row index in reduced matrices (-1 for the

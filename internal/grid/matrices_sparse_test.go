@@ -1,0 +1,103 @@
+package grid_test
+
+import (
+	"math"
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/grid"
+)
+
+// TestBSparseMatchesDense: the sparse susceptance assembly must agree with
+// the dense stamping entry for entry, including after line exclusions.
+func TestBSparseMatchesDense(t *testing.T) {
+	for _, name := range []string{"paper5", "ieee14", "synth30"} {
+		c, err := cases.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.Grid
+		topos := []grid.Topology{g.TrueTopology(), g.TrueTopology().WithExcluded(g.NumLines())}
+		for _, topo := range topos {
+			dense := g.BMatrix(topo)
+			sp := g.BSparse(topo)
+			if sp.Rows() != dense.Rows() || sp.Cols() != dense.Cols() {
+				t.Fatalf("%s: sparse B is %dx%d, dense %dx%d", name, sp.Rows(), sp.Cols(), dense.Rows(), dense.Cols())
+			}
+			for i := 0; i < dense.Rows(); i++ {
+				for j := 0; j < dense.Cols(); j++ {
+					if got, want := sp.At(i, j), dense.At(i, j); got != want {
+						t.Fatalf("%s B[%d][%d]: sparse %v != dense %v", name, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReducedMeasurementSparseMatchesDense: the direct sparse stamping of H
+// must reproduce the triple-product dense construction exactly.
+func TestReducedMeasurementSparseMatchesDense(t *testing.T) {
+	for _, name := range []string{"paper5", "ieee14"} {
+		c, err := cases.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.Grid
+		topo := g.TrueTopology().WithExcluded(2)
+		dense, err := g.ReducedMeasurementMatrix(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := g.ReducedMeasurementSparse(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Rows() != dense.Rows() || sp.Cols() != dense.Cols() {
+			t.Fatalf("%s: sparse H is %dx%d, dense %dx%d", name, sp.Rows(), sp.Cols(), dense.Rows(), dense.Cols())
+		}
+		for i := 0; i < dense.Rows(); i++ {
+			row := make([]float64, dense.Cols())
+			sp.Row(i, func(j int, v float64) { row[j] = v })
+			for j := 0; j < dense.Cols(); j++ {
+				if math.Abs(row[j]-dense.At(i, j)) > 1e-12 {
+					t.Fatalf("%s H[%d][%d]: sparse %v != dense %v", name, i, j, row[j], dense.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestFactorizeBBothPaths: FactorizeB must produce a working factorization
+// whichever path the size heuristic picks, agreeing with a direct dense
+// solve.
+func TestFactorizeBBothPaths(t *testing.T) {
+	g := cases.IEEE14Bus()
+	topo := g.TrueTopology()
+	fact, err := g.FactorizeB(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumBuses() - 1
+	if fact.Order() != n {
+		t.Fatalf("Order = %d, want %d", fact.Order(), n)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%3) - 1
+	}
+	x, err := fact.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify B x = rhs through the sparse product.
+	ax, err := g.BSparse(topo).MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rhs {
+		if math.Abs(ax[i]-rhs[i]) > 1e-9 {
+			t.Fatalf("residual[%d] = %v", i, ax[i]-rhs[i])
+		}
+	}
+}

@@ -2,8 +2,6 @@ package grid
 
 import (
 	"fmt"
-
-	"gridattack/internal/linalg"
 )
 
 // PowerFlow is the solved DC power-flow state of the system.
@@ -54,7 +52,12 @@ func (g *Grid) SolvePowerFlowInjections(t Topology, injections []float64) (*Powe
 	if !g.Connected(t) {
 		return nil, fmt.Errorf("%w: topology disconnects the network", ErrInvalid)
 	}
-	bm := g.BMatrix(t)
+	// Factorize-once sparse/dense solve (FactorizeB picks the path by size);
+	// never forms B⁻¹.
+	fact, err := g.FactorizeB(t)
+	if err != nil {
+		return nil, fmt.Errorf("grid: power flow solve: %w", err)
+	}
 	idx := g.reducedIndex()
 	rhs := make([]float64, b-1)
 	for _, bus := range g.Buses {
@@ -62,7 +65,7 @@ func (g *Grid) SolvePowerFlowInjections(t Topology, injections []float64) (*Powe
 			rhs[ri] = injections[bus.ID-1]
 		}
 	}
-	thetaRed, err := linalg.Solve(bm, rhs)
+	thetaRed, err := fact.Solve(rhs)
 	if err != nil {
 		return nil, fmt.Errorf("grid: power flow solve: %w", err)
 	}

@@ -1,0 +1,17 @@
+package linalg
+
+// Factorization is the solve-capable view of a factorized square matrix.
+// Both the dense LU in this package and the sparse LU in linalg/sparse
+// satisfy it, so consumers (PTDF construction, WLS normal equations, DC
+// power flow) can factorize once and issue repeated right-hand-side solves
+// without caring about the storage format — and without ever forming an
+// explicit inverse.
+type Factorization interface {
+	// Order returns the dimension n of the factorized n x n matrix.
+	Order() int
+	// Solve solves A x = b for one right-hand side of length Order().
+	Solve(b []float64) ([]float64, error)
+}
+
+// Order returns the dimension of the factorized matrix.
+func (f *LU) Order() int { return f.n }

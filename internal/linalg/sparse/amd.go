@@ -1,0 +1,97 @@
+package sparse
+
+// MinDegreeOrder computes a fill-reducing column ordering for a square
+// matrix with (numerically) symmetric structure, such as the reduced nodal
+// susceptance matrix B = A^T D A. It runs the classic minimum-degree
+// algorithm on the symmetrized adjacency graph of a: at each step the
+// lowest-degree vertex is eliminated and its neighbourhood turned into a
+// clique, exactly modelling the fill produced by Gaussian elimination on a
+// symmetric pattern. Ties break on the smaller vertex index so the ordering
+// is deterministic.
+//
+// This is the quadratic-worst-case textbook variant rather than the
+// quotient-graph AMD of Amestoy/Davis/Duff; for the power grids in scope
+// (n ≤ ~2000, average degree ~3) elimination neighbourhoods stay tiny and
+// ordering time is a negligible fraction of factorization time, while the
+// fill reduction matches AMD closely on these near-planar graphs.
+//
+// The returned perm has perm[k] = original index of the k-th pivot column.
+func MinDegreeOrder(a *CSC) []int {
+	n := a.cols
+	if a.rows != n {
+		panic("sparse: MinDegreeOrder needs a square matrix")
+	}
+	// Symmetrized adjacency sets (off-diagonal pattern of a + aᵀ).
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	for j := 0; j < n; j++ {
+		for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+			i := a.rowIdx[k]
+			if i != j {
+				adj[i][j] = struct{}{}
+				adj[j][i] = struct{}{}
+			}
+		}
+	}
+	eliminated := make([]bool, n)
+	perm := make([]int, 0, n)
+	for len(perm) < n {
+		// Pick the minimum-degree uneliminated vertex (smallest index wins ties).
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			if d := len(adj[v]); d < bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		v := best
+		eliminated[v] = true
+		perm = append(perm, v)
+		// Clique the neighbourhood and detach v.
+		nbrs := make([]int, 0, len(adj[v]))
+		for u := range adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		for _, u := range nbrs {
+			delete(adj[u], v)
+		}
+		for x := 0; x < len(nbrs); x++ {
+			for y := x + 1; y < len(nbrs); y++ {
+				ux, uy := nbrs[x], nbrs[y]
+				adj[ux][uy] = struct{}{}
+				adj[uy][ux] = struct{}{}
+			}
+		}
+		adj[v] = nil
+	}
+	return perm
+}
+
+// permuteCols returns a with its columns permuted so that new column k is
+// original column perm[k].
+func permuteCols(a *CSC, perm []int) *CSC {
+	n := a.cols
+	out := &CSC{
+		rows:   a.rows,
+		cols:   n,
+		colPtr: make([]int, n+1),
+		rowIdx: make([]int, a.NNZ()),
+		values: make([]float64, a.NNZ()),
+	}
+	pos := 0
+	for k := 0; k < n; k++ {
+		j := perm[k]
+		out.colPtr[k] = pos
+		for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+			out.rowIdx[pos] = a.rowIdx[p]
+			out.values[pos] = a.values[p]
+			pos++
+		}
+	}
+	out.colPtr[n] = pos
+	return out
+}

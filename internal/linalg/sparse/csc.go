@@ -1,0 +1,263 @@
+// Package sparse provides compressed sparse matrix types and a sparse LU
+// factorization for the power-system substrates. Reduced nodal susceptance
+// matrices are structurally sparse (nnz ≈ b + 2l for b buses and l lines),
+// so factorize-once + per-injection triangular solves replace the dense
+// O(n³)/O(n²) inverse that capped the scalability sweep at 118 buses.
+//
+// The package mirrors the design of the classic CSparse routines: matrices
+// are built through a coordinate Builder that sums duplicate entries, stored
+// in compressed sparse column (CSC) or row (CSR) form, and factorized with a
+// left-looking Gilbert–Peierls LU under a fill-reducing minimum-degree
+// column ordering with partial pivoting.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrDimension indicates incompatible operand dimensions.
+var ErrDimension = errors.New("sparse: dimension mismatch")
+
+// ErrSingular indicates a (numerically) singular matrix was passed to a
+// factorization routine.
+var ErrSingular = errors.New("sparse: singular matrix")
+
+// entry is one coordinate-form element.
+type entry struct {
+	row, col int
+	val      float64
+}
+
+// Builder accumulates coordinate-form entries for a rows x cols matrix.
+// Duplicate (row, col) entries are summed during compression, and entries
+// that sum to exactly zero are dropped, so incremental stamping (e.g. nodal
+// admittance assembly) needs no precomputed pattern.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+// NewBuilder returns an empty builder for a rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative matrix dimension")
+	}
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v into entry (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for %dx%d builder", i, j, b.rows, b.cols))
+	}
+	b.entries = append(b.entries, entry{row: i, col: j, val: v})
+}
+
+// compress sorts the entries column-major, sums duplicates, and drops
+// entries whose sum is exactly zero. The sort is stable so duplicates are
+// summed in insertion order, making the result bit-identical to an
+// accumulate-in-place dense assembly over the same Add sequence.
+func (b *Builder) compress() []entry {
+	es := make([]entry, len(b.entries))
+	copy(es, b.entries)
+	sort.SliceStable(es, func(x, y int) bool {
+		if es[x].col != es[y].col {
+			return es[x].col < es[y].col
+		}
+		return es[x].row < es[y].row
+	})
+	out := es[:0]
+	for _, e := range es {
+		if n := len(out); n > 0 && out[n-1].row == e.row && out[n-1].col == e.col {
+			out[n-1].val += e.val
+			continue
+		}
+		out = append(out, e)
+	}
+	kept := out[:0]
+	for _, e := range out {
+		if e.val != 0 {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+// ToCSC compresses the accumulated entries into CSC form.
+func (b *Builder) ToCSC() *CSC {
+	es := b.compress()
+	m := &CSC{
+		rows:   b.rows,
+		cols:   b.cols,
+		colPtr: make([]int, b.cols+1),
+		rowIdx: make([]int, len(es)),
+		values: make([]float64, len(es)),
+	}
+	for k, e := range es {
+		m.colPtr[e.col+1]++
+		m.rowIdx[k] = e.row
+		m.values[k] = e.val
+	}
+	for j := 0; j < b.cols; j++ {
+		m.colPtr[j+1] += m.colPtr[j]
+	}
+	return m
+}
+
+// ToCSR compresses the accumulated entries into CSR form.
+func (b *Builder) ToCSR() *CSR {
+	es := b.compress()
+	sort.SliceStable(es, func(x, y int) bool {
+		if es[x].row != es[y].row {
+			return es[x].row < es[y].row
+		}
+		return es[x].col < es[y].col
+	})
+	m := &CSR{
+		rows:   b.rows,
+		cols:   b.cols,
+		rowPtr: make([]int, b.rows+1),
+		colIdx: make([]int, len(es)),
+		values: make([]float64, len(es)),
+	}
+	for k, e := range es {
+		m.rowPtr[e.row+1]++
+		m.colIdx[k] = e.col
+		m.values[k] = e.val
+	}
+	for i := 0; i < b.rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m
+}
+
+// CSC is a matrix in compressed sparse column form: column j's entries are
+// rowIdx/values[colPtr[j]:colPtr[j+1]], with row indices strictly increasing
+// within a column.
+type CSC struct {
+	rows, cols int
+	colPtr     []int
+	rowIdx     []int
+	values     []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSC) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSC) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.values) }
+
+// At returns the value at (i, j), zero when the entry is not stored.
+func (m *CSC) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.colPtr[j], m.colPtr[j+1]
+	k := lo + sort.SearchInts(m.rowIdx[lo:hi], i)
+	if k < hi && m.rowIdx[k] == i {
+		return m.values[k]
+	}
+	return 0
+}
+
+// Col calls fn(row, value) for every stored entry of column j in increasing
+// row order.
+func (m *CSC) Col(j int, fn func(i int, v float64)) {
+	for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+		fn(m.rowIdx[k], m.values[k])
+	}
+}
+
+// MulVec returns m * v.
+func (m *CSC) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("%w: %dx%d * vector(%d)", ErrDimension, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for j := 0; j < m.cols; j++ {
+		x := v[j]
+		if x == 0 {
+			continue
+		}
+		for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+			out[m.rowIdx[k]] += m.values[k] * x
+		}
+	}
+	return out, nil
+}
+
+// Dense expands the matrix to a row-major dense [][]float64 (for tests and
+// small-system fallbacks).
+func (m *CSC) Dense() [][]float64 {
+	out := make([][]float64, m.rows)
+	for i := range out {
+		out[i] = make([]float64, m.cols)
+	}
+	for j := 0; j < m.cols; j++ {
+		for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+			out[m.rowIdx[k]][j] = m.values[k]
+		}
+	}
+	return out
+}
+
+// CSR is a matrix in compressed sparse row form: row i's entries are
+// colIdx/values[rowPtr[i]:rowPtr[i+1]], with column indices strictly
+// increasing within a row.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	values     []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.values) }
+
+// Row calls fn(col, value) for every stored entry of row i in increasing
+// column order.
+func (m *CSR) Row(i int, fn func(j int, v float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.values[k])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// MulVec returns m * v.
+func (m *CSR) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("%w: %dx%d * vector(%d)", ErrDimension, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.values[k] * v[m.colIdx[k]]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// DotRow returns the dot product of row i with v (v must have Cols entries;
+// unchecked for speed — callers are internal).
+func (m *CSR) DotRow(i int, v []float64) float64 {
+	var s float64
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		s += m.values[k] * v[m.colIdx[k]]
+	}
+	return s
+}

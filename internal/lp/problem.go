@@ -119,6 +119,8 @@ type Solution struct {
 	Status    Status
 	Objective float64
 	X         []float64 // values of the structural variables
+	Pivots    int       // simplex basis changes performed by this solve
+	Warmed    bool      // true when the solve reused a warm basis
 }
 
 // Value returns the solved value of variable v.

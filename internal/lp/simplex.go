@@ -33,20 +33,29 @@ type tableau struct {
 	lower  []float64
 	upper  []float64
 	nonbas []float64 // current value of each variable when nonbasic
+	pivots int       // basis changes performed (diagnostic counter)
 }
 
 // Solve runs two-phase simplex and returns the solution.
 func (p *Problem) Solve() (*Solution, error) {
+	sol, _, err := p.solveCold(false)
+	return sol, err
+}
+
+// solveCold runs the two-phase simplex from scratch. When wantWarm is set
+// and the solve reaches optimality, it also returns a Warm context capturing
+// the final tableau for rhs-only re-solves.
+func (p *Problem) solveCold(wantWarm bool) (*Solution, *Warm, error) {
 	for i, c := range p.cons {
 		for _, t := range c.terms {
 			if t.Var < 0 || t.Var >= len(p.lower) {
-				return nil, fmt.Errorf("lp: constraint %d references unknown variable %d", i, t.Var)
+				return nil, nil, fmt.Errorf("lp: constraint %d references unknown variable %d", i, t.Var)
 			}
 		}
 	}
 	for j := range p.lower {
 		if p.lower[j] > p.upper[j] {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible}, nil, nil
 		}
 	}
 
@@ -103,7 +112,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	// Fill the constraint matrix, slacks, and artificials.
 	slackIdx := nStruct
 	artIdx := nStruct + nSlack
+	signs := make([]float64, m)
 	for i, c := range p.cons {
+		signs[i] = 1
 		for _, term := range c.terms {
 			t.a[i][term.Var] += term.Coeff
 		}
@@ -133,6 +144,7 @@ func (p *Problem) Solve() (*Solution, error) {
 				t.a[i][j] = -t.a[i][j]
 			}
 			resid = -resid
+			signs[i] = -1
 		}
 		art := artIdx + i
 		t.a[i][art] = 1
@@ -149,13 +161,13 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	st, err := t.iterate(phase1)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if st == Unbounded {
-		return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		return nil, nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
 	}
 	if t.objective(phase1) > feasTol {
-		return &Solution{Status: Infeasible}, nil
+		return &Solution{Status: Infeasible}, nil, nil
 	}
 	// Pin artificials to zero so phase 2 cannot reuse them.
 	for i := 0; i < m; i++ {
@@ -172,12 +184,37 @@ func (p *Problem) Solve() (*Solution, error) {
 	copy(phase2, p.cost)
 	st, err = t.iterate(phase2)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if st == Unbounded {
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded}, nil, nil
 	}
 
+	sol := t.extract(p)
+	var w *Warm
+	if wantWarm {
+		rhs := make([]float64, m)
+		senses := make([]Sense, m)
+		for i, c := range p.cons {
+			rhs[i] = c.rhs
+			senses[i] = c.sense
+		}
+		w = &Warm{
+			t:       t,
+			signs:   signs,
+			rhs:     rhs,
+			senses:  senses,
+			cost:    phase2,
+			nStruct: nStruct,
+			artIdx:  artIdx,
+		}
+	}
+	return sol, w, nil
+}
+
+// extract builds an Optimal solution from the tableau's current point.
+func (t *tableau) extract(p *Problem) *Solution {
+	nStruct := len(p.lower)
 	x := make([]float64, nStruct)
 	vals := t.values()
 	copy(x, vals[:nStruct])
@@ -185,7 +222,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	for j := 0; j < nStruct; j++ {
 		obj += p.cost[j] * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+	return &Solution{Status: Optimal, Objective: obj, X: x, Pivots: t.pivots}
 }
 
 // values returns the current value of every variable.
@@ -350,6 +387,7 @@ func (t *tableau) iterate(cost []float64) (Status, error) {
 			t.xB[leaveRow] = t.lower[leaving]
 		}
 		t.pivot(leaveRow, enter)
+		t.pivots++
 		t.basis[leaveRow] = enter
 		t.status[enter] = statusBasic
 		t.xB[leaveRow] = enterVal

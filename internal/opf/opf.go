@@ -35,23 +35,20 @@ type Solution struct {
 	Theta    []float64 // bus angles; nil for the shift-factor solver
 }
 
-// Solve computes the exact minimum-cost dispatch for the grid under mapped
-// topology t serving the given per-bus loads (nil means the grid's existing
-// loads). Only lines in t carry flow or capacity constraints.
-func Solve(g *grid.Grid, t grid.Topology, loads []float64) (*Solution, error) {
-	if len(g.Generators) == 0 {
-		return nil, ErrNoGenerators
-	}
-	if loads == nil {
-		loads = g.LoadVector()
-	}
-	if len(loads) != g.NumBuses() {
-		return nil, fmt.Errorf("opf: load vector length %d, want %d", len(loads), g.NumBuses())
-	}
-	if !g.Connected(t) {
-		return nil, fmt.Errorf("opf: topology disconnects the network: %w", ErrInfeasible)
-	}
+// angleVars records where the angle-formulation LP builder placed each model
+// quantity, so solutions can be extracted after any solve path.
+type angleVars struct {
+	thetaVar  []int
+	genVar    []int
+	flowVar   []int
+	fixedCost float64
+}
 
+// buildAngleLP constructs the angle-formulation OPF linear program. For a
+// fixed topology the structure (variables, bounds, costs, constraint matrix,
+// senses) is identical across calls — only the nodal-balance right-hand
+// sides depend on loads — which is what makes warm-started re-solves sound.
+func buildAngleLP(g *grid.Grid, t grid.Topology, loads []float64) (*lp.Problem, *angleVars, error) {
 	p := lp.NewProblem()
 	inf := math.Inf(1)
 
@@ -111,11 +108,66 @@ func Solve(g *grid.Grid, t grid.Topology, loads []float64) (*Solution, error) {
 			}
 		}
 		if len(terms) == 0 && loads[bus.ID-1] != 0 {
-			return nil, fmt.Errorf("opf: isolated bus %d with load: %w", bus.ID, ErrInfeasible)
+			return nil, nil, fmt.Errorf("opf: isolated bus %d with load: %w", bus.ID, ErrInfeasible)
 		}
 		p.AddConstraint(terms, lp.EQ, -loads[bus.ID-1])
 	}
+	return p, &angleVars{thetaVar: thetaVar, genVar: genVar, flowVar: flowVar, fixedCost: fixedCost}, nil
+}
 
+// extractAngleSolution maps an optimal LP point back to the grid model.
+func extractAngleSolution(g *grid.Grid, sol *lp.Solution, av *angleVars) *Solution {
+	out := &Solution{
+		Cost:     sol.Objective + av.fixedCost,
+		Dispatch: make([]float64, g.NumBuses()),
+		Flows:    make([]float64, g.NumLines()),
+		Theta:    make([]float64, g.NumBuses()),
+	}
+	for i, gen := range g.Generators {
+		out.Dispatch[gen.Bus-1] += sol.Value(av.genVar[i])
+	}
+	for _, ln := range g.Lines {
+		if fv := av.flowVar[ln.ID]; fv >= 0 {
+			out.Flows[ln.ID-1] = sol.Value(fv)
+		}
+	}
+	for _, bus := range g.Buses {
+		if v := av.thetaVar[bus.ID]; v >= 0 {
+			out.Theta[bus.ID-1] = sol.Value(v)
+		}
+	}
+	return out
+}
+
+// checkSolveInputs validates the shared preconditions of the LP solvers.
+func checkSolveInputs(g *grid.Grid, loads []float64) ([]float64, error) {
+	if len(g.Generators) == 0 {
+		return nil, ErrNoGenerators
+	}
+	if loads == nil {
+		loads = g.LoadVector()
+	}
+	if len(loads) != g.NumBuses() {
+		return nil, fmt.Errorf("opf: load vector length %d, want %d", len(loads), g.NumBuses())
+	}
+	return loads, nil
+}
+
+// Solve computes the exact minimum-cost dispatch for the grid under mapped
+// topology t serving the given per-bus loads (nil means the grid's existing
+// loads). Only lines in t carry flow or capacity constraints.
+func Solve(g *grid.Grid, t grid.Topology, loads []float64) (*Solution, error) {
+	loads, err := checkSolveInputs(g, loads)
+	if err != nil {
+		return nil, err
+	}
+	if !g.Connected(t) {
+		return nil, fmt.Errorf("opf: topology disconnects the network: %w", ErrInfeasible)
+	}
+	p, av, err := buildAngleLP(g, t, loads)
+	if err != nil {
+		return nil, err
+	}
 	sol, err := p.Solve()
 	if err != nil {
 		return nil, fmt.Errorf("opf: %w", err)
@@ -126,27 +178,7 @@ func Solve(g *grid.Grid, t grid.Topology, loads []float64) (*Solution, error) {
 	case lp.Unbounded:
 		return nil, fmt.Errorf("opf: unbounded LP (model error)")
 	}
-
-	out := &Solution{
-		Cost:     sol.Objective + fixedCost,
-		Dispatch: make([]float64, g.NumBuses()),
-		Flows:    make([]float64, g.NumLines()),
-		Theta:    make([]float64, g.NumBuses()),
-	}
-	for i, gen := range g.Generators {
-		out.Dispatch[gen.Bus-1] += sol.Value(genVar[i])
-	}
-	for _, ln := range g.Lines {
-		if fv := flowVar[ln.ID]; fv >= 0 {
-			out.Flows[ln.ID-1] = sol.Value(fv)
-		}
-	}
-	for _, bus := range g.Buses {
-		if v := thetaVar[bus.ID]; v >= 0 {
-			out.Theta[bus.ID-1] = sol.Value(v)
-		}
-	}
-	return out, nil
+	return extractAngleSolution(g, sol, av), nil
 }
 
 // SolveShift computes the minimum-cost dispatch using the shift-factor
@@ -155,14 +187,9 @@ func Solve(g *grid.Grid, t grid.Topology, loads []float64) (*Solution, error) {
 // Sec. IV-A fast path: the factors are computed once and reused across
 // candidate attacks.
 func SolveShift(g *grid.Grid, fac *dist.Factors, outage int, loads []float64) (*Solution, error) {
-	if len(g.Generators) == 0 {
-		return nil, ErrNoGenerators
-	}
-	if loads == nil {
-		loads = g.LoadVector()
-	}
-	if len(loads) != g.NumBuses() {
-		return nil, fmt.Errorf("opf: load vector length %d, want %d", len(loads), g.NumBuses())
+	loads, err := checkSolveInputs(g, loads)
+	if err != nil {
+		return nil, err
 	}
 
 	p := lp.NewProblem()

@@ -1,0 +1,77 @@
+package opf
+
+import (
+	"math"
+	"testing"
+
+	"gridattack/internal/cases"
+)
+
+// TestWarmSolverMatchesCold: across a ladder of load scalings and topology
+// changes, the warm solver must agree with the cold solver on cost,
+// dispatch, and flows.
+func TestWarmSolverMatchesCold(t *testing.T) {
+	g := cases.IEEE14Bus()
+	ws := NewWarmSolver(g)
+	base := g.LoadVector()
+	for _, excl := range []int{0, 3} {
+		topo := g.TrueTopology()
+		if excl != 0 {
+			topo = topo.WithExcluded(excl)
+		}
+		for _, scale := range []float64{1.0, 1.02, 1.05, 1.0, 0.98} {
+			loads := make([]float64, len(base))
+			for i, l := range base {
+				loads[i] = l * scale
+			}
+			want, err := Solve(g, topo, loads)
+			if err != nil {
+				t.Fatalf("cold excl=%d scale=%v: %v", excl, scale, err)
+			}
+			got, err := ws.SolveTopology(topo, loads)
+			if err != nil {
+				t.Fatalf("warm excl=%d scale=%v: %v", excl, scale, err)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-7 {
+				t.Fatalf("excl=%d scale=%v cost: warm %v cold %v", excl, scale, got.Cost, want.Cost)
+			}
+			for i := range want.Dispatch {
+				if math.Abs(got.Dispatch[i]-want.Dispatch[i]) > 1e-6 {
+					t.Fatalf("excl=%d scale=%v dispatch[%d]: warm %v cold %v", excl, scale, i, got.Dispatch[i], want.Dispatch[i])
+				}
+			}
+			for i := range want.Flows {
+				if math.Abs(got.Flows[i]-want.Flows[i]) > 1e-6 {
+					t.Fatalf("excl=%d scale=%v flow[%d]: warm %v cold %v", excl, scale, i, got.Flows[i], want.Flows[i])
+				}
+			}
+		}
+	}
+
+	st := ws.Stats()
+	if st.Solves != 10 {
+		t.Fatalf("Solves = %d, want 10", st.Solves)
+	}
+	if st.WarmHits == 0 {
+		t.Fatal("expected at least one warm hit across the ladder")
+	}
+	t.Logf("warm stats: %+v", st)
+}
+
+// TestWarmSolverInfeasible: an undeliverable load must surface ErrInfeasible
+// through the warm path exactly like the cold path.
+func TestWarmSolverInfeasible(t *testing.T) {
+	g := cases.Paper5Bus()
+	ws := NewWarmSolver(g)
+	topo := g.TrueTopology()
+	if _, err := ws.SolveTopology(topo, nil); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	huge := make([]float64, g.NumBuses())
+	for i := range huge {
+		huge[i] = 1e6
+	}
+	if _, err := ws.SolveTopology(topo, huge); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

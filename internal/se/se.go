@@ -23,6 +23,25 @@ import (
 // system state (rank-deficient H).
 var ErrUnobservable = errors.New("se: system unobservable with the taken measurements")
 
+// Backend selects the linear-algebra path for the WLS normal equations.
+type Backend int
+
+const (
+	// BackendAuto picks BackendSparse for systems with at least
+	// sparseStateThreshold states and BackendDense below that.
+	BackendAuto Backend = iota
+	// BackendDense solves H^T W H through the dense LU (explicit H).
+	BackendDense
+	// BackendSparse assembles the gain matrix from sparse measurement rows
+	// and solves it with the fill-reducing sparse LU; H^T W H is never
+	// densified and B^-1-style explicit inverses are never formed.
+	BackendSparse
+)
+
+// sparseStateThreshold is the state count at which BackendAuto switches the
+// full-telemetry estimation path to sparse assembly.
+const sparseStateThreshold = 64
+
 // Estimator performs WLS state estimation for one grid and measurement plan.
 type Estimator struct {
 	grid *grid.Grid
@@ -42,6 +61,12 @@ type Estimator struct {
 	// values anchor observability without drowning out live telemetry.
 	// 0 selects 0.01.
 	PseudoWeightFactor float64
+
+	// Backend selects the normal-equation solve path (BackendAuto sizes it
+	// to the system). Degraded-mode estimation (EstimatePartial) always uses
+	// the dense path: it is cold, and its island/rank logic needs explicit
+	// rows.
+	Backend Backend
 }
 
 // NewEstimator returns an estimator for the grid and plan.
@@ -145,10 +170,26 @@ func (e *Estimator) stateBuses() []int {
 	return out
 }
 
+// useSparse reports whether the full-telemetry path should go through the
+// sparse backend.
+func (e *Estimator) useSparse() bool {
+	switch e.Backend {
+	case BackendDense:
+		return false
+	case BackendSparse:
+		return true
+	default:
+		return e.grid.NumBuses()-1 >= sparseStateThreshold
+	}
+}
+
 // Estimate runs WLS estimation of the state from the measurement vector z
 // under the mapped topology t. Every plan-taken measurement must be present
 // in z; use EstimatePartial for degraded telemetry.
 func (e *Estimator) Estimate(t grid.Topology, z *measure.Vector) (*Result, error) {
+	if e.useSparse() {
+		return e.estimateSparse(t, z)
+	}
 	h, idx, err := e.estimationMatrix(t)
 	if err != nil {
 		return nil, err
@@ -336,6 +377,9 @@ func weightRows(h *linalg.Matrix, w []float64) *linalg.Matrix {
 // Observable reports whether the plan's taken measurements make the system
 // observable under topology t.
 func (e *Estimator) Observable(t grid.Topology) (bool, error) {
+	if e.useSparse() {
+		return e.observableSparse(t)
+	}
 	h, _, err := e.estimationMatrix(t)
 	if err != nil {
 		return false, err

@@ -1,0 +1,211 @@
+package se
+
+import (
+	"fmt"
+	"math"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/linalg/sparse"
+	"gridattack/internal/measure"
+)
+
+// sparseRow is one taken measurement row of the reduced measurement matrix
+// with the consumption-block sign flip already applied.
+type sparseRow struct {
+	cols []int
+	vals []float64
+}
+
+// sparseRows extracts the taken rows of the sparse reduced measurement
+// matrix, applying the same consumption sign flip as estimationMatrix.
+func (e *Estimator) sparseRows(t grid.Topology) ([]sparseRow, []int, error) {
+	hr, err := e.grid.ReducedMeasurementSparse(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := e.grid.NumLines()
+	var rows []sparseRow
+	var idx []int
+	for i := 1; i <= e.plan.M(); i++ {
+		if !e.plan.Taken[i] {
+			continue
+		}
+		sign := 1.0
+		if i > 2*l { // consumption rows: flip sign (see estimationMatrix)
+			sign = -1
+		}
+		r := sparseRow{
+			cols: make([]int, 0, hr.RowNNZ(i-1)),
+			vals: make([]float64, 0, hr.RowNNZ(i-1)),
+		}
+		hr.Row(i-1, func(j int, v float64) {
+			r.cols = append(r.cols, j)
+			r.vals = append(r.vals, sign*v)
+		})
+		rows = append(rows, r)
+		idx = append(idx, i)
+	}
+	return rows, idx, nil
+}
+
+// assembleGain builds the gain matrix G = H^T W H from sparse rows. Each
+// row contributes w_r * h_r h_r^T — a clique over its nonzeros, at most
+// (deg+1)² entries — so assembly is linear in the network size.
+func assembleGain(rows []sparseRow, w []float64, n int) *sparse.CSC {
+	gb := sparse.NewBuilder(n, n)
+	for r, row := range rows {
+		wr := w[r]
+		for a, ca := range row.cols {
+			va := wr * row.vals[a]
+			for b, cb := range row.cols {
+				gb.Add(ca, cb, va*row.vals[b])
+			}
+		}
+	}
+	return gb.ToCSC()
+}
+
+// estimateSparse is the sparse-backend counterpart of Estimate: identical
+// semantics (same error cases, same statistics), but the normal equations
+// are assembled and factorized sparsely and observability is decided by the
+// factorization rather than an explicit rank computation.
+func (e *Estimator) estimateSparse(t grid.Topology, z *measure.Vector) (*Result, error) {
+	rows, idx, err := e.sparseRows(t)
+	if err != nil {
+		return nil, err
+	}
+	n := e.grid.NumBuses() - 1
+	if len(rows) < n {
+		return nil, fmt.Errorf("%w: %d measurements for %d states", ErrUnobservable, len(rows), n)
+	}
+	zv := make([]float64, len(idx))
+	w := make([]float64, len(idx))
+	for k, i := range idx {
+		if !z.Present[i] {
+			return nil, fmt.Errorf("se: measurement %d is in the plan but absent from z", i)
+		}
+		zv[k] = z.Values[i]
+		w[k] = e.weightOf(i)
+	}
+
+	gain := assembleGain(rows, w, n)
+	fact, err := sparse.Factorize(gain)
+	if err != nil {
+		// A singular gain matrix is exactly rank deficiency of H.
+		return nil, ErrUnobservable
+	}
+	rhs := make([]float64, n)
+	for r, row := range rows {
+		wz := w[r] * zv[r]
+		for a, c := range row.cols {
+			rhs[c] += row.vals[a] * wz
+		}
+	}
+	xr, err := fact.Solve(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("se: gain matrix solve: %w", err)
+	}
+
+	stateBuses := e.stateBuses()
+	theta := make([]float64, e.grid.NumBuses())
+	for k, bus := range stateBuses {
+		theta[bus-1] = xr[k]
+	}
+
+	var j2 float64
+	resid := make([]float64, len(idx))
+	est := make([]float64, len(idx))
+	for r, row := range rows {
+		var s float64
+		for a, c := range row.cols {
+			s += row.vals[a] * xr[c]
+		}
+		est[r] = s
+		resid[r] = zv[r] - s
+		j2 += w[r] * resid[r] * resid[r]
+	}
+	residual := math.Sqrt(j2)
+
+	estZ := measure.NewVector(e.plan.M())
+	for k, i := range idx {
+		estZ.Values[i] = est[k]
+		estZ.Present[i] = true
+	}
+	flows, err := e.grid.FlowsFromTheta(t, theta)
+	if err != nil {
+		return nil, err
+	}
+	loadEst, err := e.grid.ConsumptionFromFlows(t, flows)
+	if err != nil {
+		return nil, err
+	}
+
+	df := len(idx) - n
+	res := &Result{
+		Theta:            theta,
+		Residual:         residual,
+		EstimatedZ:       estZ,
+		LoadEstimate:     loadEst,
+		Flows:            flows,
+		DegreesOfFreedom: df,
+	}
+	res.SuspectMeasurement, res.SuspectResidual = largestNormalizedResidualSparse(fact, rows, w, resid, idx)
+	res.BadData = e.detectBadData(residual, df)
+	return res, nil
+}
+
+// largestNormalizedResidualSparse mirrors largestNormalizedResidual on the
+// sparse path: Omega_kk = 1/w_k - h_k G^-1 h_k^T, with G^-1 h_k obtained by
+// one triangular solve per row instead of an explicit inverse.
+func largestNormalizedResidualSparse(fact *sparse.LU, rows []sparseRow, w, resid []float64, idx []int) (int, float64) {
+	n := fact.Order()
+	bestI, bestV := 0, 0.0
+	rhs := make([]float64, n)
+	for k, row := range rows {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		for a, c := range row.cols {
+			rhs[c] = row.vals[a]
+		}
+		tmp, err := fact.Solve(rhs)
+		if err != nil {
+			return 0, 0
+		}
+		var hgh float64
+		for a, c := range row.cols {
+			hgh += row.vals[a] * tmp[c]
+		}
+		omega := 1/w[k] - hgh
+		if omega < 1e-12 {
+			continue // critical measurement: residual always ~0
+		}
+		rn := math.Abs(resid[k]) / math.Sqrt(omega)
+		if rn > bestV {
+			bestV = rn
+			bestI = idx[k]
+		}
+	}
+	return bestI, bestV
+}
+
+// observableSparse decides observability through the sparse gain
+// factorization.
+func (e *Estimator) observableSparse(t grid.Topology) (bool, error) {
+	rows, idx, err := e.sparseRows(t)
+	if err != nil {
+		return false, err
+	}
+	n := e.grid.NumBuses() - 1
+	if len(rows) < n {
+		return false, nil
+	}
+	w := make([]float64, len(idx))
+	for k, i := range idx {
+		w[k] = e.weightOf(i)
+	}
+	if _, err := sparse.Factorize(assembleGain(rows, w, n)); err != nil {
+		return false, nil
+	}
+	return true, nil
+}

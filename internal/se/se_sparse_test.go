@@ -1,0 +1,101 @@
+package se
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/measure"
+)
+
+// TestSparseBackendMatchesDense: the sparse normal-equation path must agree
+// with the dense oracle on every statistic WLS reports.
+func TestSparseBackendMatchesDense(t *testing.T) {
+	for _, name := range []string{"paper5", "ieee14", "synth30"} {
+		c, err := cases.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, plan := c.Grid, c.Plan
+		topo := g.TrueTopology()
+
+		// Honest telemetry from a feasible dispatch.
+		total := g.TotalLoad()
+		gen := make([]float64, g.NumBuses())
+		gen[g.RefBus-1] = total
+		pf, err := g.SolvePowerFlow(topo, gen)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		z, err := plan.FromPowerFlow(g, pf, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		dense := NewEstimator(g, plan)
+		dense.Backend = BackendDense
+		sp := NewEstimator(g, plan)
+		sp.Backend = BackendSparse
+
+		rd, err := dense.Estimate(topo, z)
+		if err != nil {
+			t.Fatalf("%s dense: %v", name, err)
+		}
+		rs, err := sp.Estimate(topo, z)
+		if err != nil {
+			t.Fatalf("%s sparse: %v", name, err)
+		}
+		for i := range rd.Theta {
+			if math.Abs(rd.Theta[i]-rs.Theta[i]) > 1e-8 {
+				t.Fatalf("%s theta[%d]: dense %v sparse %v", name, i, rd.Theta[i], rs.Theta[i])
+			}
+		}
+		if math.Abs(rd.Residual-rs.Residual) > 1e-8 {
+			t.Fatalf("%s residual: dense %v sparse %v", name, rd.Residual, rs.Residual)
+		}
+		if rd.BadData != rs.BadData {
+			t.Fatalf("%s bad-data verdicts differ", name)
+		}
+		if rd.DegreesOfFreedom != rs.DegreesOfFreedom {
+			t.Fatalf("%s df: dense %d sparse %d", name, rd.DegreesOfFreedom, rs.DegreesOfFreedom)
+		}
+		for i := range rd.Flows {
+			if math.Abs(rd.Flows[i]-rs.Flows[i]) > 1e-8 {
+				t.Fatalf("%s flow[%d]: dense %v sparse %v", name, i, rd.Flows[i], rs.Flows[i])
+			}
+		}
+		// Observability must agree too.
+		od, err := dense.Observable(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os, err := sp.Observable(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if od != os {
+			t.Fatalf("%s observability: dense %v sparse %v", name, od, os)
+		}
+	}
+}
+
+// TestSparseBackendUnobservable: the sparse path must classify rank
+// deficiency as ErrUnobservable exactly like the dense path.
+func TestSparseBackendUnobservable(t *testing.T) {
+	g := cases.Paper5Bus()
+	// A plan with only one measurement cannot determine 4 states.
+	plan := measure.NewPlan(g.NumLines(), g.NumBuses())
+	plan.Taken[1] = true
+	est := NewEstimator(g, plan)
+	est.Backend = BackendSparse
+	z := measure.NewVector(plan.M())
+	z.Values[1] = 0.1
+	z.Present[1] = true
+	if _, err := est.Estimate(g.TrueTopology(), z); !errors.Is(err, ErrUnobservable) {
+		t.Fatalf("err = %v, want ErrUnobservable", err)
+	}
+	if ok, err := est.Observable(g.TrueTopology()); err != nil || ok {
+		t.Fatalf("Observable = %v, %v; want false, nil", ok, err)
+	}
+}
