@@ -35,7 +35,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, or sparse")
+		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, or expr")
 		all          = fs.Bool("all", false, "run every artifact")
 		caseList     = fs.String("cases", "", "comma-separated case subset (default: all five systems)")
 		maxConflicts = fs.Int64("max-conflicts", 2_000_000, "SMT conflict budget per query (0 = unlimited)")
@@ -49,7 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	artifacts := []string{*fig}
 	if *all {
-		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith", "sparse"}
+		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith", "sparse", "expr"}
 	}
 	for _, a := range artifacts {
 		if a == "" {
@@ -299,8 +299,52 @@ func runOne(w io.Writer, artifact string, names []string, maxConflicts int64) er
 		tw.Flush()
 		fmt.Fprintln(w)
 
+	case "expr":
+		// Three tables behind BENCH_expr.json: the incremental Fig. 2
+		// threshold ladder (one shared candidate search; under SMT
+		// verification additionally assumption-based per-rung cost caps)
+		// against the cold one-Run-per-rung fallback under both
+		// verification modes (verdicts asserted identical on every rung no
+		// per-query budget interrupts), and the first incremental OPF
+		// feasibility probes on the 300-bus system.
+		for _, lm := range []struct {
+			mode  core.VerifyMode
+			title string
+		}{
+			{core.VerifyLP, "Incremental threshold ladder, LP verification (Fig. 4(a) sweep; shared candidate search)"},
+			{core.VerifySMT, "Incremental threshold ladder, SMT verification (shared search + assumption-based cost caps)"},
+		} {
+			rows, err := experiments.RunLadderSpeedup(names, lm.mode, maxConflicts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, lm.title)
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "case\tbuses\trungs\tfound\tbudget-bound\tincremental\tcold\tspeedup")
+			for _, r := range rows {
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%v\t%v\t%.1fx\n",
+					r.Case, r.Buses, r.Rungs, r.Found, r.Budgeted,
+					r.Incremental.Round(1e5), r.Cold.Round(1e5), r.Speedup())
+			}
+			tw.Flush()
+			fmt.Fprintln(w)
+		}
+
+		fq, err := experiments.RunFirstQuery("synth300", maxConflicts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "First incremental OPF feasibility probes, 300-bus system (encode once, Sat at 1.1*T0, Unsat at 0.99*T0)")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "case\tbuses\tlines\tencode\tsat-probe\tunsat-probe\twithin-budget")
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%v\t%v\n",
+			fq.Case, fq.Buses, fq.Lines, fq.Encode.Round(1e5),
+			fq.SatProbe.Round(1e5), fq.UnsProbe.Round(1e5), !fq.Canceled)
+		tw.Flush()
+		fmt.Fprintln(w)
+
 	default:
-		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse)", artifact)
+		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr)", artifact)
 	}
 	return nil
 }

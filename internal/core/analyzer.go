@@ -116,6 +116,17 @@ type Analyzer struct {
 	// either way; the knob exists for A/B validation and benchmarking.
 	NoPrescreen bool
 
+	// NoIncremental forces the cold (assertion-based) SMT encoding path:
+	// under VerifySMT every verification model asserts its cost caps
+	// permanently instead of passing them as retractable assumptions, and
+	// RunLadder falls back to one independent full Run per rung instead of
+	// sharing the candidate search across rungs. Verdicts are identical either
+	// way (see DESIGN.md, "Expression layer & incremental search"); the knob
+	// exists for A/B validation, benchmarking, and as an escape hatch.
+	// Enabling Certify implies the cold path, because an unsat-under-
+	// assumptions verdict carries no checkable certificate.
+	NoIncremental bool
+
 	// CheckpointPath enables crash-resumable analysis: every completed
 	// find–verify iteration is appended (fsync'd, hash-chained) to this
 	// journal file. Re-running with the same configuration and path replays
@@ -349,6 +360,23 @@ func (a *Analyzer) Run() (*Report, error) {
 	return rep, nil
 }
 
+// incremental reports whether this analysis uses the assumption-based
+// (incremental) SMT encoding for verification cost caps. Certify forces the
+// cold path — whether set on this analyzer or process-wide (the
+// GRIDATTACK_CERTIFY lane) — because relative unsat verdicts carry no
+// certificate.
+func (a *Analyzer) incremental() bool {
+	return !a.NoIncremental && !a.Certify && !smt.CertifyDefault()
+}
+
+// encodingName is the journal fingerprint of the encoding path.
+func (a *Analyzer) encodingName() string {
+	if a.incremental() {
+		return "incremental"
+	}
+	return "cold"
+}
+
 // journalConfig builds the configuration fingerprint stored in (and checked
 // against) a checkpoint journal's header.
 func (a *Analyzer) journalConfig(baseline, threshold float64, maxIter int) JournalConfig {
@@ -357,6 +385,7 @@ func (a *Analyzer) journalConfig(baseline, threshold float64, maxIter int) Journ
 		mode = VerifyLP
 	}
 	return JournalConfig{
+		Encoding:              a.encodingName(),
 		Buses:                 a.Grid.NumBuses(),
 		Lines:                 a.Grid.NumLines(),
 		BaselineCost:          baseline,
@@ -629,15 +658,18 @@ func (a *Analyzer) verify(ctx context.Context, v *attack.Vector, fac *dist.Facto
 	case VerifySMT:
 		// One OPF feasibility model answers both the Eq. 38 and the Eq. 37
 		// query: the topology/load constraints are encoded once and the two
-		// cost caps asserted incrementally. The solver cannot retract
-		// constraints, so the generous cap is queried first — the outcome is
-		// provably the one the original tight-then-generous order computed,
-		// since unsat at the generous cap implies unsat at the tight one.
+		// cost caps evaluated against the same solver. On the incremental
+		// path the caps are retractable assumptions; on the cold path they
+		// are permanent assertions, so the generous cap is queried first —
+		// the outcome is provably the one the original tight-then-generous
+		// order computed, since unsat at the generous cap implies unsat at
+		// the tight one (which also makes the two paths verdict-identical).
 		fm, err := opf.NewFeasibilityModel(a.Grid, v.MappedTopology, v.ObservedLoads, a.MaxConflicts, a.QueryTimeout)
 		if err != nil {
 			return 0, false, err
 		}
 		defer func() { acc.add(fm.Stats()) }()
+		fm.Incremental = a.incremental()
 		fm.Parallelism = par
 		fm.MaxPivots = a.MaxPivots
 		fm.Certify = a.Certify

@@ -41,6 +41,13 @@ const (
 // against a journal whose configuration differs is refused: the journaled
 // candidate sequence would not match the one the model regenerates.
 type JournalConfig struct {
+	// Encoding records the SMT encoding path ("incremental" or "cold", see
+	// Analyzer.NoIncremental) the journaled run used. A resume under the
+	// other path is refused: the two paths are verdict-identical, but mixing
+	// them inside one journal would make the recorded solver-effort trail
+	// meaningless and would mask encoding bugs that only one path has.
+	Encoding string `json:"encoding,omitempty"`
+
 	Buses                 int     `json:"buses"`
 	Lines                 int     `json:"lines"`
 	BaselineCost          float64 `json:"baseline_cost"`

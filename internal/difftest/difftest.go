@@ -11,6 +11,7 @@ import (
 // Layer names accepted by Config.Layers.
 const (
 	LayerSMT    = "smt"
+	LayerExpr   = "expr"
 	LayerOPF    = "opf"
 	LayerWLS    = "wls"
 	LayerDist   = "dist"
@@ -21,7 +22,7 @@ const (
 
 // AllLayers returns every layer name in execution order.
 func AllLayers() []string {
-	return []string{LayerSMT, LayerOPF, LayerWLS, LayerDist, LayerSparse, LayerMeta, LayerCore}
+	return []string{LayerSMT, LayerExpr, LayerOPF, LayerWLS, LayerDist, LayerSparse, LayerMeta, LayerCore}
 }
 
 // Config parameterizes one harness run.
@@ -158,8 +159,15 @@ func Run(cfg Config) (*Summary, error) {
 				fmt.Fprintf(out, "FAIL [smt] seed=%d: %s\n", cs, detail)
 			}
 		}
+		if layerOn[LayerExpr] {
+			sum.ChecksRun++
+			if detail := checkExpr(rng); detail != "" {
+				sum.Discrepancies = append(sum.Discrepancies, Discrepancy{Layer: LayerExpr, CaseSeed: cs, Detail: detail})
+				fmt.Fprintf(out, "FAIL [expr] seed=%d: %s\n", cs, detail)
+			}
+		}
 
-		needGrid := layerOn[LayerOPF] || layerOn[LayerWLS] || layerOn[LayerDist] || layerOn[LayerSparse] || layerOn[LayerMeta] || layerOn[LayerCore]
+		needGrid := layerOn[LayerOPF] || layerOn[LayerWLS] || layerOn[LayerDist] || layerOn[LayerSparse] || layerOn[LayerMeta] || layerOn[LayerCore] || layerOn[LayerExpr]
 		if !needGrid {
 			sum.Cases++
 			continue
@@ -216,6 +224,15 @@ func Run(cfg Config) (*Summary, error) {
 		// the smaller systems.
 		if layerOn[LayerCore] && sys.Grid.NumBuses() <= 6 && (!cfg.Short || i%4 == 0) {
 			if err := runCheck(LayerCore, propAttackMonotone); err != nil {
+				return nil, err
+			}
+		}
+		// The incremental-vs-cold ladder A/B reruns the Fig. 2 loop several
+		// times per system; like the core property it is rationed to the
+		// smaller systems (offset from the core cases in short mode so both
+		// properties still run).
+		if layerOn[LayerExpr] && sys.Grid.NumBuses() <= 6 && (!cfg.Short || i%4 == 2) {
+			if err := runCheck("expr/ladder", checkLadderAB); err != nil {
 				return nil, err
 			}
 		}

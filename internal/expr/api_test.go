@@ -1,0 +1,199 @@
+package expr
+
+import (
+	"math/big"
+	"testing"
+
+	"gridattack/internal/smt"
+)
+
+// TestNodeAccessors exercises the read-only node API on one node of every
+// kind.
+func TestNodeAccessors(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.RealVar(0), b.RealVar(1)
+	p, q := b.BoolVar(2), b.BoolVar(3)
+
+	if b.True().Kind() != KindBool || !b.True().BoolVal() || b.False().BoolVal() {
+		t.Error("boolean constant accessors")
+	}
+	if p.Kind() != KindBoolVar || p.BoolVar() != 2 {
+		t.Errorf("BoolVar accessor: kind=%v var=%d", p.Kind(), p.BoolVar())
+	}
+
+	lin := b.Sum(b.ScaleInt(3, x), y, b.Int(7))
+	if lin.Kind() != KindLin {
+		t.Fatalf("lin kind = %v", lin.Kind())
+	}
+	if terms := lin.Terms(); len(terms) != 2 || terms[0].Var != 0 || terms[0].Coeff.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("lin terms = %v", lin.Terms())
+	}
+	if lin.Const().Cmp(big.NewRat(7, 1)) != 0 {
+		t.Errorf("lin const = %v", lin.Const())
+	}
+
+	atom := b.CmpInt(lin, smt.OpLE, 10)
+	if atom.Kind() != KindCmp || atom.Op() != smt.OpLE {
+		t.Errorf("cmp accessors: kind=%v op=%v", atom.Kind(), atom.Op())
+	}
+
+	conj := b.And(p, q)
+	if conj.Kind() != KindAnd || len(conj.Kids()) != 2 {
+		t.Errorf("and accessors: kind=%v kids=%d", conj.Kind(), len(conj.Kids()))
+	}
+	neg := b.Not(atom)
+	if neg.Kind() != KindNot || neg.Kids()[0] != atom {
+		t.Errorf("not accessors: kind=%v", neg.Kind())
+	}
+
+	// IDs are creation-ordered and distinct.
+	if p.ID() == q.ID() {
+		t.Error("distinct nodes share an ID")
+	}
+	if b.NumNodes() != b.Stats().Nodes {
+		t.Errorf("NumNodes %d != Stats().Nodes %d", b.NumNodes(), b.Stats().Nodes)
+	}
+
+	// Kind strings cover every kind (and the unknown fallback).
+	for _, k := range []Kind{KindBool, KindBoolVar, KindLin, KindCmp, KindNot, KindAnd, KindOr, Kind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty Kind string for %d", uint8(k))
+		}
+	}
+}
+
+// TestEvalRat evaluates linear nodes exactly, with missing reals reading 0
+// and the returned rational being caller-owned fresh storage.
+func TestEvalRat(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.RealVar(0), b.RealVar(1)
+	n := b.Sum(b.ScaleRat(big.NewRat(1, 3), x), b.Neg(y), b.Rat(big.NewRat(5, 2)))
+
+	asn := Assignment{Reals: map[int]*big.Rat{0: big.NewRat(3, 1)}}
+	got := b.EvalRat(n, asn)
+	want := big.NewRat(7, 2) // 1/3*3 - 0 + 5/2
+	if got.Cmp(want) != 0 {
+		t.Fatalf("EvalRat = %v, want %v", got, want)
+	}
+	got.SetInt64(0) // mutating the result must not corrupt interned storage
+	if again := b.EvalRat(n, asn); again.Cmp(want) != 0 {
+		t.Fatalf("EvalRat after caller mutation = %v, want %v", again, want)
+	}
+}
+
+// TestFloatEntryPoints: the float64 constructors route through
+// smt.RatFromFloat, so they agree bit-for-bit with the direct conversion.
+func TestFloatEntryPoints(t *testing.T) {
+	b := NewBuilder()
+	const f = 0.1
+	if b.Float(f).Const().Cmp(smt.RatFromFloat(f)) != 0 {
+		t.Error("Float does not match smt.RatFromFloat")
+	}
+	x := b.RealVar(0)
+	sf := b.ScaleFloat(f, x)
+	if sf.Terms()[0].Coeff.Cmp(smt.RatFromFloat(f)) != 0 {
+		t.Error("ScaleFloat coefficient does not match smt.RatFromFloat")
+	}
+	cf := b.CmpFloat(x, smt.OpGE, f)
+	cr := b.CmpRat(x, smt.OpGE, smt.RatFromFloat(f))
+	if cf != cr {
+		t.Error("CmpFloat and CmpRat(RatFromFloat) intern different atoms")
+	}
+}
+
+// TestImpliesIff checks the boolean sugar against truth tables.
+func TestImpliesIff(t *testing.T) {
+	b := NewBuilder()
+	p, q := b.BoolVar(0), b.BoolVar(1)
+	imp := b.Implies(p, q)
+	iff := b.Iff(p, q)
+	for _, tc := range []struct {
+		p, q     bool
+		imp, iff bool
+	}{
+		{false, false, true, true},
+		{false, true, true, false},
+		{true, false, false, false},
+		{true, true, true, true},
+	} {
+		asn := Assignment{Bools: map[int]bool{0: tc.p, 1: tc.q}}
+		if got := b.EvalBool(imp, asn); got != tc.imp {
+			t.Errorf("(%v -> %v) = %v, want %v", tc.p, tc.q, got, tc.imp)
+		}
+		if got := b.EvalBool(iff, asn); got != tc.iff {
+			t.Errorf("(%v <-> %v) = %v, want %v", tc.p, tc.q, got, tc.iff)
+		}
+	}
+	if b.Implies(b.False(), p) != b.True() {
+		t.Error("false -> p did not fold to true")
+	}
+	if b.Iff(p, p) != b.True() {
+		t.Error("p <-> p did not fold to true")
+	}
+}
+
+// TestAssert lowers through Assert into a real solver and cross-checks the
+// verdict and model against DAG evaluation.
+func TestAssert(t *testing.T) {
+	s := smt.NewSolver()
+	b := NewBuilder()
+	pv := s.NewBool("p")
+	xv := s.NewReal("x")
+	p, x := b.BoolVar(pv), b.RealVar(xv)
+
+	constraint := b.And(
+		b.Implies(p, b.CmpInt(x, smt.OpGE, 5)),
+		p,
+		b.CmpInt(x, smt.OpLE, 5),
+	)
+	b.Assert(s, constraint)
+	res, err := s.Check()
+	if err != nil || res != smt.Sat {
+		t.Fatalf("Check = %v, %v, want Sat", res, err)
+	}
+	asn := Assignment{
+		Bools: map[int]bool{pv: s.BoolValue(pv)},
+		Reals: map[int]*big.Rat{xv: s.RealValue(xv)},
+	}
+	if !b.EvalBool(constraint, asn) {
+		t.Error("solver model does not satisfy the DAG under EvalBool")
+	}
+	if b.EvalRat(x, asn).Cmp(big.NewRat(5, 1)) != 0 {
+		t.Errorf("x = %v, want 5", s.RealValue(xv))
+	}
+
+	// Lowering constants and variables hits the remaining Lower branches.
+	if b.Lower(b.True()) != smt.True || b.Lower(b.False()) != smt.False {
+		t.Error("boolean constants do not lower to the solver's constants")
+	}
+	if b.Lower(p) != b.Lower(p) {
+		t.Error("Lower is not cached per node")
+	}
+}
+
+// TestNodeString renders every kind without panicking and distinctly enough
+// to debug with.
+func TestNodeString(t *testing.T) {
+	b := NewBuilder()
+	x := b.RealVar(0)
+	nodes := []*Node{
+		b.True(), b.False(), b.BoolVar(1),
+		b.Sum(b.ScaleInt(2, x), b.Int(3)),
+		b.Int(0),
+		b.CmpInt(x, smt.OpLT, 1),
+		b.Not(b.BoolVar(1)),
+		b.And(b.BoolVar(1), b.CmpInt(x, smt.OpGE, 2)),
+		b.Or(b.BoolVar(1), b.BoolVar(2)),
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		s := n.String()
+		if s == "" {
+			t.Errorf("empty String for kind %v", n.Kind())
+		}
+		if seen[s] {
+			t.Errorf("duplicate String rendering %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,100 @@
+package expr
+
+import "math/big"
+
+// Assignment maps solver variables to exact values for evaluation. Missing
+// boolean variables evaluate to false, missing reals to 0 — evaluation is
+// total, which keeps the differential harness and fuzzing free of error
+// plumbing.
+type Assignment struct {
+	Bools map[int]bool
+	Reals map[int]*big.Rat
+}
+
+// evaluator memoizes one evaluation pass over the DAG, so shared subtrees are
+// computed once — the whole point of hash-consing carried into evaluation.
+type evaluator struct {
+	asn   Assignment
+	bools map[*Node]bool
+	reals map[*Node]*big.Rat
+}
+
+// EvalBool evaluates a boolean-sorted node under the assignment with exact
+// big.Rat arithmetic. Panics on a KindLin node.
+func (b *Builder) EvalBool(n *Node, asn Assignment) bool {
+	ev := &evaluator{asn: asn, bools: make(map[*Node]bool), reals: make(map[*Node]*big.Rat)}
+	return ev.evalBool(n)
+}
+
+// EvalRat evaluates a linear node under the assignment. The returned rational
+// is fresh storage owned by the caller.
+func (b *Builder) EvalRat(n *Node, asn Assignment) *big.Rat {
+	ev := &evaluator{asn: asn, bools: make(map[*Node]bool), reals: make(map[*Node]*big.Rat)}
+	return new(big.Rat).Set(ev.evalRat(n))
+}
+
+func (e *evaluator) evalBool(n *Node) bool {
+	if v, ok := e.bools[n]; ok {
+		return v
+	}
+	var v bool
+	switch n.kind {
+	case KindBool:
+		v = n.bval
+	case KindBoolVar:
+		v = e.asn.Bools[n.bvar]
+	case KindCmp:
+		v = cmpHolds(e.linValue(n), n.op, n.konst)
+	case KindNot:
+		v = !e.evalBool(n.kids[0])
+	case KindAnd:
+		v = true
+		for _, k := range n.kids {
+			// No short-circuit: every child is evaluated so memoization state
+			// (and panics on ill-sorted nodes) cannot depend on sibling values.
+			if !e.evalBool(k) {
+				v = false
+			}
+		}
+	case KindOr:
+		v = false
+		for _, k := range n.kids {
+			if e.evalBool(k) {
+				v = true
+			}
+		}
+	default:
+		panic("expr: EvalBool on a linear node")
+	}
+	e.bools[n] = v
+	return v
+}
+
+func (e *evaluator) evalRat(n *Node) *big.Rat {
+	if n.kind != KindLin {
+		panic("expr: EvalRat on a non-linear node")
+	}
+	if v, ok := e.reals[n]; ok {
+		return v
+	}
+	v := e.linValue(n)
+	e.reals[n] = v
+	return v
+}
+
+// linValue computes sum(c_i * x_i) + konst for a KindLin or KindCmp node's
+// term slice (for KindCmp the konst is the rhs and is NOT added — callers
+// compare against it instead).
+func (e *evaluator) linValue(n *Node) *big.Rat {
+	v := new(big.Rat)
+	tmp := new(big.Rat)
+	for _, t := range n.terms {
+		if x, ok := e.asn.Reals[t.Var]; ok {
+			v.Add(v, tmp.Mul(t.Coeff, x))
+		}
+	}
+	if n.kind == KindLin {
+		v.Add(v, n.konst)
+	}
+	return v
+}

@@ -1,0 +1,627 @@
+// Package expr implements an immutable, hash-consed expression DAG for the
+// attack and OPF encodings: structurally equal subexpressions are interned to
+// the same node (structural sharing), constant subexpressions fold at
+// construction, and a small set of sound boolean/linear-arithmetic rewrites
+// keep the DAG canonical. All arithmetic is exact big.Rat, with float64
+// entry points routed through smt.RatFromFloat so values built from the same
+// float are bit-identical to the ones the direct smt encoding would produce.
+//
+// A Builder owns one interner. Nodes from the same Builder satisfy the
+// hash-consing contract: two structurally equal expressions (up to the
+// canonicalization below) are the same pointer, so equality checks, per-node
+// caches, and the Tseitin translation all collapse shared structure. Node IDs
+// are assigned in creation order and are deterministic for a fixed call
+// sequence, which the incremental analyzer relies on when reusing one Builder
+// across a family of solvers.
+package expr
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gridattack/internal/smt"
+)
+
+// Kind discriminates DAG node types.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindBool    Kind = iota + 1 // boolean constant
+	KindBoolVar                 // boolean solver variable
+	KindLin                     // linear arithmetic form: sum(c_i * x_i) + k
+	KindCmp                     // comparison atom: canonical form op rhs
+	KindNot
+	KindAnd
+	KindOr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindBoolVar:
+		return "boolvar"
+	case KindLin:
+		return "lin"
+	case KindCmp:
+		return "cmp"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Term is one monomial of a linear node. Coefficients are never zero and are
+// not mutated after interning.
+type Term struct {
+	Var   int
+	Coeff *big.Rat
+}
+
+// Node is one immutable DAG node. Nodes are created only through a Builder
+// and must not be mixed across Builders (IDs and interning are per-Builder).
+type Node struct {
+	id   uint32
+	kind Kind
+
+	bval bool // KindBool
+	bvar int  // KindBoolVar
+
+	terms []Term   // KindLin: sorted by Var; KindCmp: canonical LHS
+	konst *big.Rat // KindLin: additive constant; KindCmp: right-hand side
+
+	op   smt.Op  // KindCmp
+	kids []*Node // KindNot (1), KindAnd/KindOr (>= 2, flattened, deduped)
+}
+
+// ID returns the node's interning identifier (creation order within its
+// Builder).
+func (n *Node) ID() uint32 { return n.id }
+
+// Kind returns the node type.
+func (n *Node) Kind() Kind { return n.kind }
+
+// BoolVal returns the value of a KindBool node.
+func (n *Node) BoolVal() bool { return n.bval }
+
+// BoolVar returns the solver variable of a KindBoolVar node.
+func (n *Node) BoolVar() int { return n.bvar }
+
+// Terms returns the monomials of a KindLin or KindCmp node. The slice and its
+// rationals are interned storage: callers must not mutate them.
+func (n *Node) Terms() []Term { return n.terms }
+
+// Const returns the additive constant (KindLin) or right-hand side (KindCmp).
+// Interned storage: do not mutate.
+func (n *Node) Const() *big.Rat { return n.konst }
+
+// Op returns the comparison operator of a KindCmp node.
+func (n *Node) Op() smt.Op { return n.op }
+
+// Kids returns the children of a KindNot/KindAnd/KindOr node. Interned
+// storage: do not mutate.
+func (n *Node) Kids() []*Node { return n.kids }
+
+// Stats reports interner effectiveness counters.
+type Stats struct {
+	Nodes     int    // distinct interned nodes
+	Hits      uint64 // constructor calls served by an existing node
+	LowerHits uint64 // Lower calls served by the node->Formula cache
+}
+
+// Builder owns an interner and constructs DAG nodes. The zero value is not
+// usable; call NewBuilder.
+type Builder struct {
+	byKey map[string]*Node
+	nodes []*Node
+	hits  uint64
+
+	lowered map[*Node]*smt.Formula
+	lowHits uint64
+
+	troo *Node
+	falz *Node
+}
+
+// NewBuilder returns an empty builder with the two boolean constants
+// pre-interned.
+func NewBuilder() *Builder {
+	b := &Builder{
+		byKey:   make(map[string]*Node),
+		lowered: make(map[*Node]*smt.Formula),
+	}
+	b.troo = b.intern("B1", func() *Node { return &Node{kind: KindBool, bval: true} })
+	b.falz = b.intern("B0", func() *Node { return &Node{kind: KindBool, bval: false} })
+	return b
+}
+
+// Stats returns interner counters.
+func (b *Builder) Stats() Stats {
+	return Stats{Nodes: len(b.nodes), Hits: b.hits, LowerHits: b.lowHits}
+}
+
+// NumNodes returns the count of distinct interned nodes.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+func (b *Builder) intern(key string, mk func() *Node) *Node {
+	if n, ok := b.byKey[key]; ok {
+		b.hits++
+		return n
+	}
+	n := mk()
+	n.id = uint32(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	b.byKey[key] = n
+	return n
+}
+
+// True returns the boolean constant true.
+func (b *Builder) True() *Node { return b.troo }
+
+// False returns the boolean constant false.
+func (b *Builder) False() *Node { return b.falz }
+
+// BoolConst returns the boolean constant v.
+func (b *Builder) BoolConst(v bool) *Node {
+	if v {
+		return b.troo
+	}
+	return b.falz
+}
+
+// BoolVar returns the node for solver boolean variable v.
+func (b *Builder) BoolVar(v int) *Node {
+	return b.intern("V"+strconv.Itoa(v), func() *Node {
+		return &Node{kind: KindBoolVar, bvar: v}
+	})
+}
+
+// ---- linear arithmetic -----------------------------------------------------
+
+// linKey builds the interning key of a canonical (sorted, zero-free) term
+// slice plus constant.
+func linKey(terms []Term, konst *big.Rat) string {
+	var sb strings.Builder
+	sb.WriteByte('L')
+	for _, t := range terms {
+		sb.WriteString(strconv.Itoa(t.Var))
+		sb.WriteByte(':')
+		sb.WriteString(t.Coeff.RatString())
+		sb.WriteByte(';')
+	}
+	sb.WriteByte('|')
+	sb.WriteString(konst.RatString())
+	return sb.String()
+}
+
+// internLin interns an already-canonical linear form (terms sorted by Var,
+// no zero coefficients; both terms and konst become interned storage).
+func (b *Builder) internLin(terms []Term, konst *big.Rat) *Node {
+	return b.intern(linKey(terms, konst), func() *Node {
+		return &Node{kind: KindLin, terms: terms, konst: konst}
+	})
+}
+
+// Rat returns the constant linear node with value r.
+func (b *Builder) Rat(r *big.Rat) *Node {
+	return b.internLin(nil, new(big.Rat).Set(r))
+}
+
+// Int returns the constant linear node with integer value v.
+func (b *Builder) Int(v int64) *Node {
+	return b.internLin(nil, new(big.Rat).SetInt64(v))
+}
+
+// Float returns the constant linear node for f, converted through
+// smt.RatFromFloat so it matches the rational the direct smt encoding uses.
+func (b *Builder) Float(f float64) *Node {
+	return b.internLin(nil, smt.RatFromFloat(f))
+}
+
+// RealVar returns the linear node 1*v.
+func (b *Builder) RealVar(v int) *Node {
+	return b.internLin([]Term{{Var: v, Coeff: big.NewRat(1, 1)}}, new(big.Rat))
+}
+
+// mustLin panics unless n is a linear node — mixing boolean nodes into
+// arithmetic is a caller bug, not a recoverable condition.
+func mustLin(n *Node) {
+	if n.kind != KindLin {
+		panic("expr: arithmetic operation on a non-linear node (" + n.kind.String() + ")")
+	}
+}
+
+// Sum returns the canonical sum of linear nodes: duplicate variables merge,
+// zero coefficients drop.
+func (b *Builder) Sum(xs ...*Node) *Node {
+	acc := make(map[int]*big.Rat)
+	konst := new(big.Rat)
+	for _, x := range xs {
+		mustLin(x)
+		konst.Add(konst, x.konst)
+		for _, t := range x.terms {
+			if c, ok := acc[t.Var]; ok {
+				c.Add(c, t.Coeff)
+			} else {
+				acc[t.Var] = new(big.Rat).Set(t.Coeff)
+			}
+		}
+	}
+	return b.internLin(canonTerms(acc), konst)
+}
+
+// canonTerms converts an accumulator map to the canonical sorted, zero-free
+// term slice.
+func canonTerms(acc map[int]*big.Rat) []Term {
+	terms := make([]Term, 0, len(acc))
+	for v, c := range acc {
+		if c.Sign() != 0 {
+			terms = append(terms, Term{Var: v, Coeff: c})
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var < terms[j].Var })
+	if len(terms) == 0 {
+		return nil
+	}
+	return terms
+}
+
+// ScaleRat returns c*x for a linear node x.
+func (b *Builder) ScaleRat(c *big.Rat, x *Node) *Node {
+	mustLin(x)
+	if c.Sign() == 0 {
+		return b.internLin(nil, new(big.Rat))
+	}
+	terms := make([]Term, len(x.terms))
+	for i, t := range x.terms {
+		terms[i] = Term{Var: t.Var, Coeff: new(big.Rat).Mul(t.Coeff, c)}
+	}
+	if len(terms) == 0 {
+		terms = nil
+	}
+	return b.internLin(terms, new(big.Rat).Mul(x.konst, c))
+}
+
+// ScaleFloat returns c*x with c converted through smt.RatFromFloat.
+func (b *Builder) ScaleFloat(c float64, x *Node) *Node {
+	return b.ScaleRat(smt.RatFromFloat(c), x)
+}
+
+// ScaleInt returns c*x with an integer scale.
+func (b *Builder) ScaleInt(c int64, x *Node) *Node {
+	return b.ScaleRat(new(big.Rat).SetInt64(c), x)
+}
+
+// Neg returns -x for a linear node x.
+func (b *Builder) Neg(x *Node) *Node { return b.ScaleInt(-1, x) }
+
+// ---- comparison atoms ------------------------------------------------------
+
+// cmpHolds evaluates `lhs op rhs` on exact rationals.
+func cmpHolds(lhs *big.Rat, op smt.Op, rhs *big.Rat) bool {
+	c := lhs.Cmp(rhs)
+	switch op {
+	case smt.OpLT:
+		return c < 0
+	case smt.OpLE:
+		return c <= 0
+	case smt.OpEQ:
+		return c == 0
+	case smt.OpGE:
+		return c >= 0
+	case smt.OpGT:
+		return c > 0
+	case smt.OpNE:
+		return c != 0
+	default:
+		panic("expr: unknown comparison operator")
+	}
+}
+
+// flipOp mirrors an operator across a sign change of both sides
+// (x op c  <=>  -x flip(op) -c).
+func flipOp(op smt.Op) smt.Op {
+	switch op {
+	case smt.OpLT:
+		return smt.OpGT
+	case smt.OpLE:
+		return smt.OpGE
+	case smt.OpGE:
+		return smt.OpLE
+	case smt.OpGT:
+		return smt.OpLT
+	default: // EQ and NE are symmetric
+		return op
+	}
+}
+
+// negOp returns the complement operator (the negation of the comparison).
+func negOp(op smt.Op) smt.Op {
+	switch op {
+	case smt.OpLT:
+		return smt.OpGE
+	case smt.OpLE:
+		return smt.OpGT
+	case smt.OpEQ:
+		return smt.OpNE
+	case smt.OpGE:
+		return smt.OpLT
+	case smt.OpGT:
+		return smt.OpLE
+	case smt.OpNE:
+		return smt.OpEQ
+	default:
+		panic("expr: unknown comparison operator")
+	}
+}
+
+func cmpKey(terms []Term, op smt.Op, rhs *big.Rat) string {
+	var sb strings.Builder
+	sb.WriteByte('C')
+	for _, t := range terms {
+		sb.WriteString(strconv.Itoa(t.Var))
+		sb.WriteByte(':')
+		sb.WriteString(t.Coeff.RatString())
+		sb.WriteByte(';')
+	}
+	sb.WriteByte('#')
+	sb.WriteString(strconv.Itoa(int(op)))
+	sb.WriteByte('#')
+	sb.WriteString(rhs.RatString())
+	return sb.String()
+}
+
+// Cmp returns the comparison atom l op r over two linear nodes, canonicalized:
+// everything moves to the left-hand side, the constant to the right, the
+// leading coefficient is scaled to +1 (flipping the direction as needed), and
+// a variable-free comparison folds to a boolean constant.
+func (b *Builder) Cmp(l *Node, op smt.Op, r *Node) *Node {
+	mustLin(l)
+	mustLin(r)
+	// l - r op 0  ==>  terms op rhs.
+	acc := make(map[int]*big.Rat, len(l.terms)+len(r.terms))
+	for _, t := range l.terms {
+		acc[t.Var] = new(big.Rat).Set(t.Coeff)
+	}
+	for _, t := range r.terms {
+		if c, ok := acc[t.Var]; ok {
+			c.Sub(c, t.Coeff)
+		} else {
+			acc[t.Var] = new(big.Rat).Neg(t.Coeff)
+		}
+	}
+	rhs := new(big.Rat).Sub(r.konst, l.konst)
+	terms := canonTerms(acc)
+	if len(terms) == 0 {
+		// Constant comparison: 0 op rhs.
+		return b.BoolConst(cmpHolds(new(big.Rat), op, rhs))
+	}
+	// Scale so |leading coefficient| == 1 (positive scale keeps direction)...
+	lead := terms[0].Coeff
+	if lead.Num().CmpAbs(lead.Denom()) != 0 {
+		inv := new(big.Rat).Inv(new(big.Rat).Abs(lead))
+		for i := range terms {
+			terms[i].Coeff = new(big.Rat).Mul(terms[i].Coeff, inv)
+		}
+		rhs.Mul(rhs, inv)
+	}
+	// ...then sign-canonicalize: leading coefficient +1, flip on negation.
+	if terms[0].Coeff.Sign() < 0 {
+		for i := range terms {
+			terms[i].Coeff = new(big.Rat).Neg(terms[i].Coeff)
+		}
+		rhs.Neg(rhs)
+		op = flipOp(op)
+	}
+	return b.intern(cmpKey(terms, op, rhs), func() *Node {
+		return &Node{kind: KindCmp, terms: terms, konst: rhs, op: op}
+	})
+}
+
+// CmpRat is Cmp against a rational constant.
+func (b *Builder) CmpRat(l *Node, op smt.Op, r *big.Rat) *Node {
+	return b.Cmp(l, op, b.Rat(r))
+}
+
+// CmpFloat is Cmp against a float64 constant (via smt.RatFromFloat).
+func (b *Builder) CmpFloat(l *Node, op smt.Op, r float64) *Node {
+	return b.Cmp(l, op, b.Float(r))
+}
+
+// CmpInt is Cmp against an integer constant.
+func (b *Builder) CmpInt(l *Node, op smt.Op, r int64) *Node {
+	return b.Cmp(l, op, b.Int(r))
+}
+
+// ---- boolean connectives ---------------------------------------------------
+
+// mustBool panics unless n is a boolean-sorted node.
+func mustBool(n *Node) {
+	if n.kind == KindLin {
+		panic("expr: boolean operation on a linear node")
+	}
+}
+
+// Not returns the negation of x: constants fold and double negation cancels.
+// A comparison is deliberately NOT folded into its complement atom: the
+// solver interns complementary inequalities under distinct keys (separate SAT
+// variables), whereas a Not wrapper lowers to the literal negation of the
+// same atom variable — fewer atoms and the exact CNF the direct encoding
+// produced. Complement detection in And/Or still recognizes explicitly built
+// complement atoms via negOp (see complementID).
+func (b *Builder) Not(x *Node) *Node {
+	mustBool(x)
+	switch x.kind {
+	case KindBool:
+		return b.BoolConst(!x.bval)
+	case KindNot:
+		return x.kids[0]
+	}
+	return b.intern("!"+strconv.FormatUint(uint64(x.id), 10), func() *Node {
+		return &Node{kind: KindNot, kids: []*Node{x}}
+	})
+}
+
+// complementPresent reports whether a complement of x is already in the seen
+// set. It never creates nodes — a complement that was never interned cannot
+// be a sibling — and for comparisons it recognizes both forms a complement
+// can take: the Not wrapper and an explicitly built complement atom.
+func (b *Builder) complementPresent(x *Node, seen map[uint32]bool) bool {
+	notKey := "!" + strconv.FormatUint(uint64(x.id), 10)
+	switch x.kind {
+	case KindNot:
+		return seen[x.kids[0].id]
+	case KindCmp:
+		if n, ok := b.byKey[cmpKey(x.terms, negOp(x.op), x.konst)]; ok && seen[n.id] {
+			return true
+		}
+		if n, ok := b.byKey[notKey]; ok && seen[n.id] {
+			return true
+		}
+		return false
+	case KindBoolVar, KindAnd, KindOr:
+		n, ok := b.byKey[notKey]
+		return ok && seen[n.id]
+	default:
+		return false
+	}
+}
+
+// nary builds a flattened, deduplicated conjunction (and=true) or disjunction
+// (and=false) with constant and complement elimination. The kid order of a
+// newly interned node is first-appearance order, but the interning key sorts
+// the child IDs, so two permutations of the same children return the same
+// node (first creation wins — deterministic for a fixed call sequence).
+func (b *Builder) nary(and bool, xs []*Node) *Node {
+	kids := make([]*Node, 0, len(xs))
+	seen := make(map[uint32]bool, len(xs))
+	for _, x := range xs {
+		mustBool(x)
+		switch {
+		case x.kind == KindBool && x.bval == and:
+			continue // neutral element
+		case x.kind == KindBool:
+			return b.BoolConst(!and) // absorbing element
+		case (and && x.kind == KindAnd) || (!and && x.kind == KindOr):
+			for _, k := range x.kids {
+				if !seen[k.id] {
+					if b.complementPresent(k, seen) {
+						return b.BoolConst(!and)
+					}
+					seen[k.id] = true
+					kids = append(kids, k)
+				}
+			}
+		default:
+			if !seen[x.id] {
+				if b.complementPresent(x, seen) {
+					return b.BoolConst(!and)
+				}
+				seen[x.id] = true
+				kids = append(kids, x)
+			}
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return b.BoolConst(and)
+	case 1:
+		return kids[0]
+	}
+	ids := make([]uint32, len(kids))
+	for i, k := range kids {
+		ids[i] = k.id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sb strings.Builder
+	if and {
+		sb.WriteByte('&')
+	} else {
+		sb.WriteByte('|')
+	}
+	for _, id := range ids {
+		sb.WriteString(strconv.FormatUint(uint64(id), 10))
+		sb.WriteByte(',')
+	}
+	kind := KindOr
+	if and {
+		kind = KindAnd
+	}
+	return b.intern(sb.String(), func() *Node {
+		return &Node{kind: kind, kids: kids}
+	})
+}
+
+// And returns the conjunction of the arguments (flattened, deduplicated,
+// constant- and complement-simplified).
+func (b *Builder) And(xs ...*Node) *Node { return b.nary(true, xs) }
+
+// Or returns the disjunction of the arguments.
+func (b *Builder) Or(xs ...*Node) *Node { return b.nary(false, xs) }
+
+// Implies returns x -> y as Or(Not(x), y).
+func (b *Builder) Implies(x, y *Node) *Node { return b.Or(b.Not(x), y) }
+
+// Iff returns x <-> y as And(x -> y, y -> x), matching the structure the
+// direct smt encoding uses.
+func (b *Builder) Iff(x, y *Node) *Node {
+	return b.And(b.Implies(x, y), b.Implies(y, x))
+}
+
+// String renders a node for debugging.
+func (n *Node) String() string {
+	switch n.kind {
+	case KindBool:
+		return strconv.FormatBool(n.bval)
+	case KindBoolVar:
+		return "b" + strconv.Itoa(n.bvar)
+	case KindLin, KindCmp:
+		var sb strings.Builder
+		for i, t := range n.terms {
+			if i > 0 {
+				sb.WriteString(" + ")
+			}
+			sb.WriteString(t.Coeff.RatString())
+			sb.WriteString("*x")
+			sb.WriteString(strconv.Itoa(t.Var))
+		}
+		if len(n.terms) == 0 {
+			sb.WriteByte('0')
+		}
+		if n.kind == KindLin {
+			if n.konst.Sign() != 0 || len(n.terms) == 0 {
+				sb.WriteString(" + ")
+				sb.WriteString(n.konst.RatString())
+			}
+		} else {
+			sb.WriteByte(' ')
+			sb.WriteString(n.op.String())
+			sb.WriteByte(' ')
+			sb.WriteString(n.konst.RatString())
+		}
+		return sb.String()
+	case KindNot:
+		return "!(" + n.kids[0].String() + ")"
+	case KindAnd, KindOr:
+		sep := " & "
+		if n.kind == KindOr {
+			sep = " | "
+		}
+		parts := make([]string, len(n.kids))
+		for i, k := range n.kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")"
+	default:
+		return "Node(?)"
+	}
+}

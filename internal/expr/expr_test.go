@@ -1,0 +1,355 @@
+package expr
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"gridattack/internal/smt"
+)
+
+// randAssignment draws a total assignment over variables 0..nVars-1 with
+// small rational real values.
+func randAssignment(rng *rand.Rand, nVars int) Assignment {
+	asn := Assignment{Bools: map[int]bool{}, Reals: map[int]*big.Rat{}}
+	for v := 0; v < nVars; v++ {
+		asn.Bools[v] = rng.Intn(2) == 0
+		asn.Reals[v] = big.NewRat(int64(rng.Intn(11)-5), int64(1+rng.Intn(4)))
+	}
+	return asn
+}
+
+// randNode builds a random boolean expression over the builder and, mirrored,
+// reports a closure evaluating the un-simplified structure naively.
+func randNode(rng *rand.Rand, b *Builder, depth int) (*Node, func(Assignment) bool) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Intn(2) == 0
+			return b.BoolConst(v), func(Assignment) bool { return v }
+		case 1:
+			idx := rng.Intn(4)
+			return b.BoolVar(idx), func(a Assignment) bool { return a.Bools[idx] }
+		default:
+			lin, evalLin := randLin(rng, b, 2)
+			ops := []smt.Op{smt.OpLT, smt.OpLE, smt.OpEQ, smt.OpGE, smt.OpGT, smt.OpNE}
+			op := ops[rng.Intn(len(ops))]
+			rhs := big.NewRat(int64(rng.Intn(9)-4), int64(1+rng.Intn(3)))
+			return b.CmpRat(lin, op, rhs), func(a Assignment) bool {
+				cmp := evalLin(a).Cmp(rhs)
+				switch op {
+				case smt.OpLT:
+					return cmp < 0
+				case smt.OpLE:
+					return cmp <= 0
+				case smt.OpEQ:
+					return cmp == 0
+				case smt.OpGE:
+					return cmp >= 0
+				case smt.OpGT:
+					return cmp > 0
+				default:
+					return cmp != 0
+				}
+			}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		k, ek := randNode(rng, b, depth-1)
+		return b.Not(k), func(a Assignment) bool { return !ek(a) }
+	case 1:
+		x, ex := randNode(rng, b, depth-1)
+		y, ey := randNode(rng, b, depth-1)
+		return b.And(x, y), func(a Assignment) bool { return ex(a) && ey(a) }
+	default:
+		x, ex := randNode(rng, b, depth-1)
+		y, ey := randNode(rng, b, depth-1)
+		return b.Or(x, y), func(a Assignment) bool { return ex(a) || ey(a) }
+	}
+}
+
+func randLin(rng *rand.Rand, b *Builder, depth int) (*Node, func(Assignment) *big.Rat) {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			idx := rng.Intn(4)
+			return b.RealVar(idx), func(a Assignment) *big.Rat { return new(big.Rat).Set(a.Reals[idx]) }
+		}
+		q := big.NewRat(int64(rng.Intn(9)-4), int64(1+rng.Intn(3)))
+		return b.Rat(q), func(Assignment) *big.Rat { return new(big.Rat).Set(q) }
+	}
+	if rng.Intn(3) == 0 {
+		c := big.NewRat(int64(rng.Intn(7)-3), int64(1+rng.Intn(2)))
+		k, ek := randLin(rng, b, depth-1)
+		return b.ScaleRat(c, k), func(a Assignment) *big.Rat { return new(big.Rat).Mul(c, ek(a)) }
+	}
+	x, ex := randLin(rng, b, depth-1)
+	y, ey := randLin(rng, b, depth-1)
+	return b.Sum(x, y), func(a Assignment) *big.Rat { return new(big.Rat).Add(ex(a), ey(a)) }
+}
+
+// TestInternerStructuralEquality: building the same structure twice — in any
+// child order for the commutative connectives — returns the identical
+// pointer.
+func TestInternerStructuralEquality(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.BoolVar(1), b.BoolVar(2), b.BoolVar(3)
+	if b.And(x, y, z) != b.And(z, y, x) {
+		t.Error("And is not order-insensitive under interning")
+	}
+	if b.Or(x, y) != b.Or(y, x) {
+		t.Error("Or is not order-insensitive under interning")
+	}
+	u := b.Sum(b.RealVar(0), b.ScaleInt(2, b.RealVar(1)))
+	v := b.Sum(b.ScaleInt(2, b.RealVar(1)), b.RealVar(0))
+	if u != v {
+		t.Error("Sum is not order-insensitive under interning")
+	}
+	if b.CmpInt(u, smt.OpLE, 3) != b.CmpInt(v, smt.OpLE, 3) {
+		t.Error("equal atoms interned to distinct nodes")
+	}
+	// Scaled atoms canonicalize to the same leading-coefficient form.
+	if b.CmpInt(b.ScaleInt(2, u), smt.OpLE, 6) != b.CmpInt(u, smt.OpLE, 3) {
+		t.Error("scaled atom did not canonicalize to its unit-leading form")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		seed := rng.Int63()
+		n1, _ := randNode(rand.New(rand.NewSource(seed)), b, 4)
+		n2, _ := randNode(rand.New(rand.NewSource(seed)), b, 4)
+		if n1 != n2 {
+			t.Fatalf("case %d (seed %d): structurally equal builds returned distinct nodes", i, seed)
+		}
+	}
+}
+
+// TestSimplificationIdempotence: the constructors are fixpoints on their own
+// output.
+func TestSimplificationIdempotence(t *testing.T) {
+	b := NewBuilder()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		n, _ := randNode(rng, b, 4)
+		if got := b.And(n); got != n {
+			t.Fatalf("And(n) = %s, want n = %s", got, n)
+		}
+		if got := b.Or(n); got != n {
+			t.Fatalf("Or(n) = %s, want n = %s", got, n)
+		}
+		if got := b.Not(b.Not(n)); got != n {
+			t.Fatalf("Not(Not(n)) = %s, want n = %s", got, n)
+		}
+		ln, _ := randLin(rng, b, 3)
+		if got := b.Sum(ln); got != ln {
+			t.Fatalf("Sum(l) = %s, want l = %s", got, ln)
+		}
+		if got := b.ScaleInt(1, ln); got != ln {
+			t.Fatalf("ScaleInt(1, l) = %s, want l = %s", got, ln)
+		}
+	}
+}
+
+// TestSimplificationSoundness: every rule the builder applies preserves the
+// value under exact evaluation, across 100 random assignments per case.
+func TestSimplificationSoundness(t *testing.T) {
+	b := NewBuilder()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		n, naive := randNode(rng, b, 4)
+		for trial := 0; trial < 100; trial++ {
+			asn := randAssignment(rng, 4)
+			if got, want := b.EvalBool(n, asn), naive(asn); got != want {
+				t.Fatalf("case %d trial %d: EvalBool=%v naive=%v on %s", i, trial, got, want, n)
+			}
+		}
+	}
+}
+
+// TestConstantFolding spot-checks the folding rules.
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	if got := b.CmpInt(b.Int(3), smt.OpLT, 4); got != b.True() {
+		t.Errorf("3 < 4 folded to %s, want true", got)
+	}
+	if got := b.CmpInt(b.Sum(b.RealVar(0), b.Neg(b.RealVar(0))), smt.OpEQ, 0); got != b.True() {
+		t.Errorf("x - x = 0 folded to %s, want true", got)
+	}
+	if got := b.And(b.BoolVar(1), b.False()); got != b.False() {
+		t.Errorf("And(x, false) = %s, want false", got)
+	}
+	if got := b.Or(b.BoolVar(1), b.True()); got != b.True() {
+		t.Errorf("Or(x, true) = %s, want true", got)
+	}
+	if got := b.And(b.BoolVar(1), b.True()); got != b.BoolVar(1) {
+		t.Errorf("And(x, true) = %s, want x", got)
+	}
+	x := b.BoolVar(1)
+	if got := b.And(x, b.Not(x)); got != b.False() {
+		t.Errorf("And(x, !x) = %s, want false", got)
+	}
+	if got := b.Or(x, b.Not(x)); got != b.True() {
+		t.Errorf("Or(x, !x) = %s, want true", got)
+	}
+	// Complementary atoms (x <= 1 vs x > 1) are detected without a Not
+	// wrapper.
+	le := b.CmpInt(b.RealVar(0), smt.OpLE, 1)
+	gt := b.CmpInt(b.RealVar(0), smt.OpGT, 1)
+	if got := b.Or(le, gt); got != b.True() {
+		t.Errorf("Or(x<=1, x>1) = %s, want true", got)
+	}
+	if got := b.And(le, gt); got != b.False() {
+		t.Errorf("And(x<=1, x>1) = %s, want false", got)
+	}
+}
+
+// TestLowerSharing: lowering the same node twice returns the same *Formula,
+// and asserting a shared subformula into two solvers yields equal verdicts.
+func TestLowerSharing(t *testing.T) {
+	b := NewBuilder()
+	n := b.And(b.BoolVar(1), b.CmpInt(b.RealVar(0), smt.OpGE, 2))
+	if b.Lower(n) != b.Lower(n) {
+		t.Error("Lower is not cached")
+	}
+	st := b.Stats()
+	if st.LowerHits == 0 {
+		t.Errorf("expected lowering cache hits, got %+v", st)
+	}
+}
+
+// FuzzInterner drives the builder with a byte-coded stack machine and checks
+// rebuild determinism plus evaluation against an independent closure mirror.
+func FuzzInterner(f *testing.F) {
+	f.Add([]byte{4, 14, 28, 37, 49})
+	f.Add([]byte{0, 11, 26, 6, 17, 46, 28})
+	f.Add([]byte{5, 15, 48, 39, 29, 7, 8, 9})
+	f.Add([]byte{0, 1, 2, 3, 60, 61, 62, 63, 64, 65, 66, 67, 68, 69})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		run := func(b *Builder) (*Node, func(Assignment) bool) {
+			type boolEntry struct {
+				n  *Node
+				ev func(Assignment) bool
+			}
+			type numEntry struct {
+				n  *Node
+				ev func(Assignment) *big.Rat
+			}
+			var bools []boolEntry
+			var nums []numEntry
+			popB := func() (boolEntry, bool) {
+				if len(bools) == 0 {
+					return boolEntry{}, false
+				}
+				e := bools[len(bools)-1]
+				bools = bools[:len(bools)-1]
+				return e, true
+			}
+			popN := func() (numEntry, bool) {
+				if len(nums) == 0 {
+					return numEntry{}, false
+				}
+				e := nums[len(nums)-1]
+				nums = nums[:len(nums)-1]
+				return e, true
+			}
+			for _, op := range program {
+				arg := int(op / 10)
+				switch op % 10 {
+				case 0:
+					idx := arg % 4
+					nums = append(nums, numEntry{b.RealVar(idx), func(a Assignment) *big.Rat { return new(big.Rat).Set(a.Reals[idx]) }})
+				case 1:
+					q := big.NewRat(int64(arg%7-3), int64(1+arg%3))
+					nums = append(nums, numEntry{b.Rat(q), func(Assignment) *big.Rat { return new(big.Rat).Set(q) }})
+				case 2:
+					x, ok1 := popN()
+					y, ok2 := popN()
+					if ok1 && ok2 {
+						nums = append(nums, numEntry{b.Sum(x.n, y.n), func(a Assignment) *big.Rat { return new(big.Rat).Add(x.ev(a), y.ev(a)) }})
+					}
+				case 3:
+					if x, ok := popN(); ok {
+						c := big.NewRat(int64(arg%7-3), int64(1+arg%2))
+						nums = append(nums, numEntry{b.ScaleRat(c, x.n), func(a Assignment) *big.Rat { return new(big.Rat).Mul(c, x.ev(a)) }})
+					}
+				case 4:
+					idx := arg % 4
+					bools = append(bools, boolEntry{b.BoolVar(idx), func(a Assignment) bool { return a.Bools[idx] }})
+				case 5:
+					v := arg%2 == 0
+					bools = append(bools, boolEntry{b.BoolConst(v), func(Assignment) bool { return v }})
+				case 6:
+					if x, ok := popN(); ok {
+						ops := []smt.Op{smt.OpLT, smt.OpLE, smt.OpEQ, smt.OpGE, smt.OpGT, smt.OpNE}
+						cop := ops[arg%len(ops)]
+						rhs := big.NewRat(int64(arg%5-2), 2)
+						bools = append(bools, boolEntry{b.CmpRat(x.n, cop, rhs), func(a Assignment) bool {
+							cmp := x.ev(a).Cmp(rhs)
+							switch cop {
+							case smt.OpLT:
+								return cmp < 0
+							case smt.OpLE:
+								return cmp <= 0
+							case smt.OpEQ:
+								return cmp == 0
+							case smt.OpGE:
+								return cmp >= 0
+							case smt.OpGT:
+								return cmp > 0
+							default:
+								return cmp != 0
+							}
+						}})
+					}
+				case 7:
+					if x, ok := popB(); ok {
+						bools = append(bools, boolEntry{b.Not(x.n), func(a Assignment) bool { return !x.ev(a) }})
+					}
+				case 8:
+					x, ok1 := popB()
+					y, ok2 := popB()
+					if ok1 && ok2 {
+						bools = append(bools, boolEntry{b.And(x.n, y.n), func(a Assignment) bool { return x.ev(a) && y.ev(a) }})
+					}
+				case 9:
+					x, ok1 := popB()
+					y, ok2 := popB()
+					if ok1 && ok2 {
+						bools = append(bools, boolEntry{b.Or(x.n, y.n), func(a Assignment) bool { return x.ev(a) || y.ev(a) }})
+					}
+				}
+			}
+			if len(bools) == 0 {
+				return nil, nil
+			}
+			return bools[len(bools)-1].n, bools[len(bools)-1].ev
+		}
+
+		b1 := NewBuilder()
+		n1, naive := run(b1)
+		if n1 == nil {
+			return
+		}
+		// Rebuild determinism: a fresh builder fed the same program yields a
+		// structurally identical root.
+		b2 := NewBuilder()
+		n2, _ := run(b2)
+		if n1.String() != n2.String() {
+			t.Fatalf("rebuild diverged: %s vs %s", n1, n2)
+		}
+		// Same-builder rebuild is pointer-identical.
+		n3, _ := run(b1)
+		if n1 != n3 {
+			t.Fatalf("same-builder rebuild returned a distinct node for %s", n1)
+		}
+		// Exact evaluation matches the closure mirror of the un-simplified
+		// program.
+		rng := rand.New(rand.NewSource(int64(len(program))*1315423911 + 17))
+		for trial := 0; trial < 4; trial++ {
+			asn := randAssignment(rng, 4)
+			if got, want := b1.EvalBool(n1, asn), naive(asn); got != want {
+				t.Fatalf("trial %d: EvalBool=%v mirror=%v on %s", trial, got, want, n1)
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package expr
+
+import "gridattack/internal/smt"
+
+// Lower translates a boolean-sorted DAG node into the solver's Formula AST.
+// Results are cached per node on the Builder, so shared DAG structure lowers
+// to shared *smt.Formula pointers — which the solver's pointer-keyed Tseitin
+// cache then translates to CNF exactly once per distinct subformula.
+//
+// The cache is keyed only by the node, so a Builder may serve many solvers as
+// long as they agree on what the variable handles mean: solvers encoding the
+// same model family allocate boolean/real variables in the same deterministic
+// order, which is exactly the situation the incremental analyzer creates.
+func (b *Builder) Lower(n *Node) *smt.Formula {
+	if f, ok := b.lowered[n]; ok {
+		b.lowHits++
+		return f
+	}
+	var f *smt.Formula
+	switch n.kind {
+	case KindBool:
+		if n.bval {
+			f = smt.True
+		} else {
+			f = smt.False
+		}
+	case KindBoolVar:
+		f = smt.Bool(n.bvar)
+	case KindCmp:
+		le := smt.NewLinExpr()
+		for _, t := range n.terms {
+			le.AddTerm(t.Coeff, t.Var)
+		}
+		f = smt.Atom(le, n.op, n.konst)
+	case KindNot:
+		f = smt.Not(b.Lower(n.kids[0]))
+	case KindAnd:
+		kids := make([]*smt.Formula, len(n.kids))
+		for i, k := range n.kids {
+			kids[i] = b.Lower(k)
+		}
+		f = smt.And(kids...)
+	case KindOr:
+		kids := make([]*smt.Formula, len(n.kids))
+		for i, k := range n.kids {
+			kids[i] = b.Lower(k)
+		}
+		f = smt.Or(kids...)
+	default:
+		panic("expr: cannot lower a linear node as a formula")
+	}
+	b.lowered[n] = f
+	return f
+}
+
+// Assert lowers n and asserts it into the solver.
+func (b *Builder) Assert(s *smt.Solver, n *Node) {
+	s.Assert(b.Lower(n))
+}

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"time"
 
+	"gridattack/internal/expr"
 	"gridattack/internal/grid"
 	"gridattack/internal/smt"
 )
@@ -35,6 +36,16 @@ func Encode(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64, costC
 // cost cap (Eq. 35) is left to the caller, so one encoded model can serve a
 // sequence of progressively tighter cost queries on the same solver.
 func EncodeBase(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64) (*Vars, error) {
+	return EncodeBaseExpr(expr.NewBuilder(), s, g, t, loads)
+}
+
+// EncodeBaseExpr is EncodeBase on a caller-supplied expression builder. The
+// encoding is built as a hash-consed DAG and lowered through the builder's
+// node->Formula cache, so a builder shared across the per-candidate models of
+// one analysis reuses every subformula that candidates have in common (the
+// variable-allocation order below is fixed, which is what makes the solver
+// handles in shared nodes line up across solvers).
+func EncodeBaseExpr(b *expr.Builder, s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64) (*Vars, error) {
 	if len(g.Generators) == 0 {
 		return nil, ErrNoGenerators
 	}
@@ -53,13 +64,14 @@ func EncodeBase(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64) (
 		v.Theta[bus.ID-1] = s.NewReal(fmt.Sprintf("theta%d", bus.ID))
 	}
 	// Reference angle pinned to zero.
-	s.Assert(smt.AtomFloat(smt.NewLinExpr().AddInt(1, v.Theta[g.RefBus-1]), smt.OpEQ, 0))
+	b.Assert(s, b.CmpInt(b.RealVar(v.Theta[g.RefBus-1]), smt.OpEQ, 0))
 
 	// Generator bounds (Eq. 31).
 	for i, gen := range g.Generators {
 		v.Gen[i] = s.NewReal(fmt.Sprintf("pg%d", gen.Bus))
-		s.Assert(smt.AtomFloat(smt.NewLinExpr().AddInt(1, v.Gen[i]), smt.OpGE, gen.MinP))
-		s.Assert(smt.AtomFloat(smt.NewLinExpr().AddInt(1, v.Gen[i]), smt.OpLE, gen.MaxP))
+		pg := b.RealVar(v.Gen[i])
+		b.Assert(s, b.CmpFloat(pg, smt.OpGE, gen.MinP))
+		b.Assert(s, b.CmpFloat(pg, smt.OpLE, gen.MaxP))
 	}
 
 	// Flow definitions and capacities (Eqs. 32, 34); unmapped lines carry no
@@ -67,39 +79,39 @@ func EncodeBase(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64) (
 	for _, ln := range g.Lines {
 		fv := s.NewReal(fmt.Sprintf("f%d", ln.ID))
 		v.Flow[ln.ID-1] = fv
+		fx := b.RealVar(fv)
 		if !t.Contains(ln.ID) {
-			s.Assert(smt.AtomFloat(smt.NewLinExpr().AddInt(1, fv), smt.OpEQ, 0))
+			b.Assert(s, b.CmpInt(fx, smt.OpEQ, 0))
 			continue
 		}
-		def := smt.NewLinExpr().
-			AddInt(1, fv).
-			AddFloat(-ln.Admittance, v.Theta[ln.From-1]).
-			AddFloat(ln.Admittance, v.Theta[ln.To-1])
-		s.Assert(smt.AtomFloat(def, smt.OpEQ, 0))
-		s.Assert(smt.AtomFloat(smt.NewLinExpr().AddInt(1, fv), smt.OpLE, ln.Capacity))
-		s.Assert(smt.AtomFloat(smt.NewLinExpr().AddInt(1, fv), smt.OpGE, -ln.Capacity))
+		def := b.Sum(fx,
+			b.ScaleFloat(-ln.Admittance, b.RealVar(v.Theta[ln.From-1])),
+			b.ScaleFloat(ln.Admittance, b.RealVar(v.Theta[ln.To-1])))
+		b.Assert(s, b.CmpInt(def, smt.OpEQ, 0))
+		b.Assert(s, b.CmpFloat(fx, smt.OpLE, ln.Capacity))
+		b.Assert(s, b.CmpFloat(fx, smt.OpGE, -ln.Capacity))
 	}
 
 	// Nodal balance (Eq. 33): consumption = incoming - outgoing = load - gen.
 	for _, bus := range g.Buses {
-		e := smt.NewLinExpr()
+		parts := make([]*expr.Node, 0, 8)
 		for _, ln := range g.Lines {
 			if !t.Contains(ln.ID) {
 				continue
 			}
 			if ln.To == bus.ID {
-				e.AddInt(1, v.Flow[ln.ID-1])
+				parts = append(parts, b.RealVar(v.Flow[ln.ID-1]))
 			}
 			if ln.From == bus.ID {
-				e.AddInt(-1, v.Flow[ln.ID-1])
+				parts = append(parts, b.Neg(b.RealVar(v.Flow[ln.ID-1])))
 			}
 		}
 		for i, gen := range g.Generators {
 			if gen.Bus == bus.ID {
-				e.AddInt(1, v.Gen[i])
+				parts = append(parts, b.RealVar(v.Gen[i]))
 			}
 		}
-		s.Assert(smt.AtomFloat(e, smt.OpEQ, loads[bus.ID-1]))
+		b.Assert(s, b.CmpFloat(b.Sum(parts...), smt.OpEQ, loads[bus.ID-1]))
 	}
 
 	// Total balance (Eq. 30) — implied by the nodal rows, asserted for
@@ -107,15 +119,15 @@ func EncodeBase(s *smt.Solver, g *grid.Grid, t grid.Topology, loads []float64) (
 	// exact rational sum of the per-bus load rationals: a float64 sum
 	// differs from it by rounding, which would make this redundant row
 	// inconsistent under exact arithmetic.
-	sum := smt.NewLinExpr()
+	parts := make([]*expr.Node, len(g.Generators))
 	for i := range g.Generators {
-		sum.AddInt(1, v.Gen[i])
+		parts[i] = b.RealVar(v.Gen[i])
 	}
 	total := new(big.Rat)
 	for _, l := range loads {
 		total.Add(total, smt.RatFromFloat(l))
 	}
-	s.Assert(smt.Atom(sum, smt.OpEQ, total))
+	b.Assert(s, b.CmpRat(b.Sum(parts...), smt.OpEQ, total))
 	return v, nil
 }
 

@@ -249,6 +249,9 @@ func TestCertificateSurvivesBudgetedAttempt(t *testing.T) {
 // Check runs without certification, later certificates must refuse to verify
 // (their traces have gaps).
 func TestUncertifiedCheckSpoilsCertificates(t *testing.T) {
+	// Under the GRIDATTACK_CERTIFY lane every Check is certified from birth,
+	// so the gap this test plants would never exist; pin the default off.
+	defer SetCertifyDefault(SetCertifyDefault(false))
 	s := NewSolver()
 	x := s.NewReal("x")
 	s.Assert(atomCmp(x, OpGE, 0))

@@ -27,6 +27,12 @@ func SetCertifyDefault(on bool) bool {
 	return certifyDefault.Swap(on)
 }
 
+// CertifyDefault reports whether certification-by-default is currently on.
+// Callers that choose between the assumption-based (incremental) and the
+// cold assertion-based encoding consult it: certification forces the cold
+// path, because an unsat-under-assumptions verdict carries no certificate.
+func CertifyDefault() bool { return certifyDefault.Load() }
+
 // assertKind discriminates the three user-level assertion forms.
 type assertKind int
 

@@ -15,37 +15,39 @@ import "math/big"
 func (s *Solver) Clone() *Solver {
 	core, cmap := s.core.clone()
 	cp := &Solver{
-		core:         core,
-		simp:         s.simp.clone(),
-		boolNames:    append([]string(nil), s.boolNames...),
-		realNames:    append([]string(nil), s.realNames...),
-		trueVar:      s.trueVar,
-		atoms:        make(map[int]*atomInfo, len(s.atoms)),
-		atomVars:     make(map[string]int, len(s.atomVars)),
-		formSlacks:   make(map[string]int, len(s.formSlacks)),
-		tseitinCache: make(map[*Formula]literal, len(s.tseitinCache)),
-		atomSlacks:   append([]int(nil), s.atomSlacks...),
-		atomsBySlack: make(map[int][]int, len(s.atomsBySlack)),
-		theoryHead:   s.theoryHead,
-		NoPropagate:  s.NoPropagate,
-		ForceBigRat:  s.ForceBigRat,
-		theoryProps:  s.theoryProps,
-		lastPropRev:  s.lastPropRev,
-		MaxConflicts: s.MaxConflicts,
-		MaxDuration:  s.MaxDuration,
-		MaxPivots:    s.MaxPivots,
-		Certify:      s.Certify,
-		selfCheck:    s.selfCheck,
-		certSpoiled:  s.certSpoiled,
-		model:        s.model,
-		restartUnit:  s.restartUnit,
-		rngState:     s.rngState,
-		randFreq:     s.randFreq,
-		lastCert:     s.lastCert,
-		assertRecs:   append([]assertRecord(nil), s.assertRecs...),
-		premises:     append([][]literal(nil), s.premises...),
-		steps:        append([]proofStep(nil), s.steps...),
-		slackDefs:    make(map[int][]LinTerm, len(s.slackDefs)),
+		core:           core,
+		simp:           s.simp.clone(),
+		boolNames:      append([]string(nil), s.boolNames...),
+		realNames:      append([]string(nil), s.realNames...),
+		trueVar:        s.trueVar,
+		atoms:          make(map[int]*atomInfo, len(s.atoms)),
+		atomVars:       make(map[string]int, len(s.atomVars)),
+		formSlacks:     make(map[string]int, len(s.formSlacks)),
+		tseitinCache:   make(map[*Formula]literal, len(s.tseitinCache)),
+		atomSlacks:     append([]int(nil), s.atomSlacks...),
+		atomsBySlack:   make(map[int][]int, len(s.atomsBySlack)),
+		theoryHead:     s.theoryHead,
+		NoPropagate:    s.NoPropagate,
+		ForceBigRat:    s.ForceBigRat,
+		theoryProps:    s.theoryProps,
+		lastPropRev:    s.lastPropRev,
+		MaxConflicts:   s.MaxConflicts,
+		MaxDuration:    s.MaxDuration,
+		MaxPivots:      s.MaxPivots,
+		Certify:        s.Certify,
+		selfCheck:      s.selfCheck,
+		certSpoiled:    s.certSpoiled,
+		model:          s.model,
+		restartUnit:    s.restartUnit,
+		rngState:       s.rngState,
+		randFreq:       s.randFreq,
+		lastCert:       s.lastCert,
+		assumpRelative: s.assumpRelative,
+		failedAssumps:  append([]literal(nil), s.failedAssumps...),
+		assertRecs:     append([]assertRecord(nil), s.assertRecs...),
+		premises:       append([][]literal(nil), s.premises...),
+		steps:          append([]proofStep(nil), s.steps...),
+		slackDefs:      make(map[int][]LinTerm, len(s.slackDefs)),
 	}
 	for v, def := range s.slackDefs {
 		cp.slackDefs[v] = def // defining terms are never mutated after creation
@@ -144,6 +146,12 @@ func (c *satCore) clone() (*satCore, map[*clause]*clause) {
 func (s *simplex) clone() *simplex {
 	n := newSimplex()
 	n.arith = s.arith
+	// The struct copy above aliases the scratch big.Rats' nat backing arrays
+	// (big.Rat copies share their slices), so a replica's slow-path compare
+	// would write into storage the original — and every sibling replica —
+	// also scratches into. Reset them; fresh backing is allocated lazily on
+	// first slow-path use.
+	n.arith.sx, n.arith.sy, n.arith.sz = big.Rat{}, big.Rat{}, big.Rat{}
 	n.nVars = s.nVars
 	n.needCheck = s.needCheck
 	n.boundRev = s.boundRev

@@ -362,7 +362,10 @@ func (s *simplex) checkWithin(deadline time.Time) (*theoryConflict, error) {
 		if s.pivotCap > 0 && s.pivots >= s.pivotCap {
 			return nil, errPivotBudget
 		}
-		if pivots%32 == 31 {
+		// Poll every few pivots: on big systems with blown-up rational
+		// coefficients a single pivot can take seconds, so a sparse poll
+		// interval would overshoot the deadline by multiples of it.
+		if pivots%8 == 7 {
 			if s.stop != nil && s.stop.Load() {
 				return nil, ErrCanceled
 			}
