@@ -35,10 +35,11 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, or expr")
+		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr, or soak")
 		all          = fs.Bool("all", false, "run every artifact")
 		caseList     = fs.String("cases", "", "comma-separated case subset (default: all five systems)")
 		maxConflicts = fs.Int64("max-conflicts", 2_000_000, "SMT conflict budget per query (0 = unlimited)")
+		soakCycles   = fs.Int("soak-cycles", 1000, "supervised cycles per fault rate for the soak artifact")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,20 +50,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	artifacts := []string{*fig}
 	if *all {
-		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith", "sparse", "expr"}
+		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith", "sparse", "expr", "soak"}
 	}
 	for _, a := range artifacts {
 		if a == "" {
 			return fmt.Errorf("pass -fig or -all")
 		}
-		if err := runOne(stdout, a, names, *maxConflicts); err != nil {
+		if err := runOne(stdout, a, names, *maxConflicts, *soakCycles); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(w io.Writer, artifact string, names []string, maxConflicts int64) error {
+func runOne(w io.Writer, artifact string, names []string, maxConflicts int64, soakCycles int) error {
 	switch artifact {
 	case "4a", "4b", "4c":
 		cfg := experiments.SweepConfig{
@@ -343,8 +344,36 @@ func runOne(w io.Writer, artifact string, names []string, maxConflicts int64) er
 		tw.Flush()
 		fmt.Fprintln(w)
 
+	case "soak":
+		// The table behind BENCH_soak.json: the supervised continuous-
+		// operation loop run end to end (real-TCP fleet, cycle-keyed random
+		// fault matrix, health machine + degradation ladder) at increasing
+		// per-(bus,cycle) fault rates, reporting cycle outcomes, recovery
+		// totals, and cycle-latency percentiles.
+		soakCases := names
+		if len(soakCases) == 0 {
+			soakCases = []string{"paper5", "synth118"}
+		}
+		fmt.Fprintf(w, "Continuous-operation soak: cycle outcomes and latency vs. fault rate (%d supervised cycles each)\n", soakCycles)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "case\tbuses\tcycles\trate\tclean\tdegraded\theld\ttrips\trecovered\tattempts\tp50\tp90\tp99\tmax")
+		for _, name := range soakCases {
+			rows, err := experiments.RunSoak(name, soakCycles, nil, 1)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%v\n",
+					r.Case, r.Buses, r.Cycles, r.FaultRate, r.Clean, r.Degraded, r.Held,
+					r.Trips, r.Recovered, r.Attempts,
+					r.P50.Round(1e4), r.P90.Round(1e4), r.P99.Round(1e4), r.Max.Round(1e4))
+			}
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+
 	default:
-		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr)", artifact)
+		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr, soak)", artifact)
 	}
 	return nil
 }

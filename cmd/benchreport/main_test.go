@@ -48,6 +48,17 @@ func TestReportTable4(t *testing.T) {
 	}
 }
 
+func TestReportSoak(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "soak", "-cases", "paper5", "-soak-cycles", "30"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Continuous-operation soak") || !strings.Contains(s, "paper5") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
 func TestReportErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

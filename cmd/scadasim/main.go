@@ -10,20 +10,31 @@
 //	scadasim                                  # honest run
 //	scadasim -attack                          # Case Study 1 attack in the loop
 //	scadasim -faults drop=0.3 -cycles 5       # telemetry under network chaos
+//	scadasim -soak 200 -case synth118 -matrix random   # supervised soak run
 //
 // With -faults, every RTU listener is wrapped in a seedable fault injector
 // (-seed) and the control center runs its resilient collection path: polls
 // are retried with capped exponential backoff (-retries), tripped RTUs are
 // circuit-broken, and the EMS consumes whatever telemetry survives via
 // degraded-mode state estimation.
+//
+// With -soak N, the classic single-shot simulation is replaced by the
+// supervised continuous-operation loop: N EMS cycles against a real-TCP
+// fleet of one RTU per bus of the selected -case, under the cycle-keyed
+// fault -matrix ("random" draws a seeded schedule), with health tracking,
+// graceful degradation, a per-cycle -deadline watchdog, and an optional
+// crash-resume -journal (an existing journal is resumed, not overwritten).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"sort"
+	"time"
 
 	"gridattack"
 )
@@ -44,9 +55,21 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "seed for the fault injector and retry jitter (deterministic chaos)")
 		retries  = fs.Int("retries", 2, "extra poll attempts per RTU after a failure")
 		cycles   = fs.Int("cycles", 1, "number of EMS cycles to run")
+		soak     = fs.Int("soak", 0, "run N supervised continuous-operation cycles instead of the single-shot simulation")
+		caseName = fs.String("case", "paper5", "evaluation case for -soak (see EvaluationCases)")
+		matrix   = fs.String("matrix", "", `cycle-keyed fault matrix for -soak, e.g. "bus2:drop@3..5;bus4:reset@8"; "random" draws a seeded schedule`)
+		cadence  = fs.Duration("cadence", 0, "loop period between -soak cycle starts (0: back-to-back)")
+		deadline = fs.Duration("deadline", 0, "per-cycle watchdog budget for -soak (0: no watchdog)")
+		journal  = fs.String("journal", "", "crash-resume journal path for -soak (existing journals are resumed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *soak > 0 {
+		if *doAttack || *faults != "" {
+			return fmt.Errorf("-soak replaces -attack/-faults; schedule faults with -matrix instead")
+		}
+		return runSoak(stdout, *caseName, *soak, *matrix, *seed, *cadence, *deadline, *journal, *retries)
 	}
 	faultCfg, err := gridattack.ParseFaultSpec(*faults)
 	if err != nil {
@@ -150,6 +173,7 @@ func run(args []string, stdout io.Writer) error {
 	pipeline.ResidualThreshold = 1e-6
 	verbose := *cycles > 1 || injector != nil
 	var cycle *gridattack.EMSCycleResult
+	var degradedCycles, heldCycles int
 	for i := 1; i <= *cycles; i++ {
 		col, err := center.CollectPartial()
 		if err != nil {
@@ -158,6 +182,12 @@ func run(args []string, stdout io.Writer) error {
 		cycle, err = pipeline.RunCycleResilient(col.Z, col.Report, dispatch, center.LastGood())
 		if err != nil {
 			return err
+		}
+		if cycle.Degraded || cycle.Stale {
+			degradedCycles++
+		}
+		if !cycle.Redispatched {
+			heldCycles++
 		}
 		if verbose {
 			fmt.Fprintf(stdout, "cycle %d: attempts=%d failed=%v degraded=%v stale=%v redispatched=%v residual=%.2e\n",
@@ -168,6 +198,12 @@ func run(args []string, stdout io.Writer) error {
 		st := injector.Stats()
 		fmt.Fprintf(stdout, "injected faults over %d connections: drop=%d delay=%d corrupt=%d truncate=%d reset=%d\n",
 			st.Conns, st.Drops, st.Delays, st.Corrupts, st.Truncates, st.Resets)
+		fmt.Fprintf(stdout, "degraded cycles: %d of %d (dispatch held on %d)\n", degradedCycles, *cycles, heldCycles)
+		for _, bus := range center.Registered() {
+			if trips := center.Breaker(bus).Trips(); trips > 0 {
+				fmt.Fprintf(stdout, "substation %d breaker: %d trip(s)\n", bus, trips)
+			}
+		}
 	}
 	honest, err := gridattack.SolveOPF(g, g.TrueTopology(), nil)
 	if err != nil {
@@ -194,4 +230,107 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "AGC converged in %d steps; dispatch cost now $%.2f\n",
 		len(traj)-1, pipeline.TrueCost(final))
 	return nil
+}
+
+// runSoak drives the supervised continuous-operation loop: a real-TCP fleet
+// of one RTU per bus, the cycle-keyed fault matrix applied fleet-wide, and
+// a full cycle-outcome report at the end.
+func runSoak(stdout io.Writer, caseName string, cycles int, matrixSpec string, seed int64,
+	cadence, deadline time.Duration, journalPath string, retries int) error {
+	c, err := gridattack.CaseByName(caseName)
+	if err != nil {
+		return err
+	}
+	g, plan := c.Grid, c.Plan
+	sol, err := gridattack.SolveOPF(g, g.TrueTopology(), nil)
+	if err != nil {
+		return err
+	}
+	op := sol.Dispatch
+	pf, err := g.SolvePowerFlow(g.TrueTopology(), op)
+	if err != nil {
+		return err
+	}
+	z, err := plan.FromPowerFlow(g, pf, 0, nil)
+	if err != nil {
+		return err
+	}
+	fl, err := gridattack.NewRTUFleet(g, plan, z)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+
+	var m *gridattack.FaultMatrix
+	if matrixSpec == "random" {
+		// Faults stop at 90% of the run so every quarantine window closes
+		// and probation completes before the end-of-run health report.
+		m = gridattack.RandomFaultMatrix(seed, g.NumBuses(), cycles*9/10, 0.002, 5)
+	} else if m, err = gridattack.ParseFaultMatrix(matrixSpec); err != nil {
+		return err
+	}
+
+	cfg := gridattack.FleetConfig{
+		CaseName:          caseName,
+		Grid:              g,
+		Plan:              plan,
+		Fleet:             fl,
+		Matrix:            m,
+		OperatingDispatch: op,
+		ResidualThreshold: 1e-6,
+		Cadence:           cadence,
+		Deadline:          deadline,
+		Retries:           retries,
+		JournalPath:       journalPath,
+	}
+	var sup *gridattack.FleetSupervisor
+	if journalPath != "" {
+		if _, statErr := os.Stat(journalPath); statErr == nil {
+			sup, err = gridattack.ResumeFleetSupervisor(cfg)
+		} else {
+			sup, err = gridattack.NewFleetSupervisor(cfg)
+		}
+	} else {
+		sup, err = gridattack.NewFleetSupervisor(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	rep, err := sup.Run(context.Background(), cycles)
+	if err != nil {
+		sup.Close()
+		return err
+	}
+
+	if rep.Resumed > 0 {
+		fmt.Fprintf(stdout, "resumed from journal after cycle %d\n", rep.Resumed)
+	}
+	fmt.Fprintf(stdout, "soak: %d cycles over %d RTUs (%s), %d poll attempts\n",
+		rep.Cycles, fl.Size(), caseName, rep.Attempts)
+	labels := make([]string, 0, len(rep.Counts))
+	for k := range rep.Counts {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(stdout, "outcomes:")
+	for _, k := range labels {
+		fmt.Fprintf(stdout, " %s=%d", k, rep.Counts[k])
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "degraded cycles: %d (dispatch held on %d)\n", rep.Degraded(), rep.Held())
+	fmt.Fprintf(stdout, "cycle latency: p50=%v p90=%v p99=%v max=%v\n",
+		rep.LatencyP50, rep.LatencyP90, rep.LatencyP99, rep.LatencyMax)
+	for _, st := range rep.RTUs {
+		if st.Trips > 0 {
+			fmt.Fprintf(stdout, "bus %d: state=%v trips=%d recoveries=%d\n",
+				st.Bus, st.State, st.Trips, st.Recoveries)
+		}
+	}
+	for _, mon := range rep.Monitor {
+		fmt.Fprintf(stdout, "monitor at cycle %d: %d verdict(s), cached=%v\n",
+			mon.Cycle, len(mon.Verdicts), mon.Cached)
+	}
+	fmt.Fprintf(stdout, "final mode: %v; dispatch cost $%.2f\n",
+		sup.Mode(), gridattack.NewEMSPipeline(g, plan).TrueCost(sup.Dispatch()))
+	return sup.Close()
 }

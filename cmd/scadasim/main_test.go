@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,7 +45,7 @@ func TestFaultySimulationSurvives(t *testing.T) {
 		t.Fatalf("run with faults: %v", err)
 	}
 	s := out.String()
-	for _, want := range []string{"cycle 1:", "cycle 4:", "injected faults over", "bad data: false"} {
+	for _, want := range []string{"cycle 1:", "cycle 4:", "injected faults over", "degraded cycles:", "bad data: false"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("faulty run output missing %q:\n%s", want, s)
 		}
@@ -63,6 +64,53 @@ func TestBadFaultSpecRejected(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-faults", "flood=0.5"}, &out); err == nil {
 		t.Fatal("want error for unknown fault kind")
+	}
+}
+
+func TestSoakSimulation(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-soak", "20", "-matrix", "bus2:drop@3..5;bus3:reset@8..10"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"soak: 20 cycles over 5 RTUs (paper5)",
+		"bus 2: state=healthy trips=1 recoveries=1",
+		"bus 3: state=healthy trips=1 recoveries=1",
+		"final mode: normal",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("soak output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSoakJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "soak.journal")
+	var first bytes.Buffer
+	if err := run([]string{"-soak", "10", "-journal", journal}, &first); err != nil {
+		t.Fatalf("first soak run: %v", err)
+	}
+	if strings.Contains(first.String(), "resumed from journal") {
+		t.Errorf("fresh run claims to have resumed:\n%s", first.String())
+	}
+	var second bytes.Buffer
+	if err := run([]string{"-soak", "5", "-journal", journal}, &second); err != nil {
+		t.Fatalf("resumed soak run: %v", err)
+	}
+	if !strings.Contains(second.String(), "resumed from journal after cycle 10") {
+		t.Errorf("second run should resume from the journal:\n%s", second.String())
+	}
+}
+
+func TestSoakRejectsClassicFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-soak", "5", "-attack"}, &out); err == nil {
+		t.Fatal("want error combining -soak with -attack")
+	}
+	if err := run([]string{"-soak", "5", "-faults", "drop=0.5"}, &out); err == nil {
+		t.Fatal("want error combining -soak with -faults")
 	}
 }
 

@@ -17,6 +17,8 @@
 //     primary contribution;
 //   - the EMS pipeline and AGC loop (EMSPipeline, AGC);
 //   - the SCADA transport with the MITM attacker (RTU, Center, MITM);
+//   - the supervised continuous-operation runtime (FleetSupervisor,
+//     RTUFleet, FaultMatrix);
 //   - the paper's text input/output format (ParseInput, WriteInput).
 //
 // Quick start (the paper's Case Study 1):
@@ -44,6 +46,7 @@ import (
 	"gridattack/internal/dist"
 	"gridattack/internal/ems"
 	"gridattack/internal/faultinject"
+	"gridattack/internal/fleet"
 	"gridattack/internal/grid"
 	"gridattack/internal/measure"
 	"gridattack/internal/opf"
@@ -354,6 +357,48 @@ func NewScriptedFaultInjector(faults ...Fault) *FaultInjector {
 // ParseFaultSpec parses a fault specification such as
 // "drop=0.2,delay=0.1:50ms,corrupt=0.1".
 func ParseFaultSpec(s string) (FaultConfig, error) { return faultinject.ParseSpec(s) }
+
+// Continuous operation: the supervised fleet-scale control loop.
+type (
+	// FleetConfig parameterizes a continuous-operation supervisor.
+	FleetConfig = fleet.Config
+	// FleetSupervisor drives telemetry -> SE -> OPF -> AGC cycles at a
+	// fixed cadence against a real-TCP RTU fleet, with health tracking,
+	// graceful degradation, a watchdog, a crash-resume journal, and the
+	// online attack-impact monitor.
+	FleetSupervisor = fleet.Supervisor
+	// FleetSoakReport is a run's accumulated outcome: per-cycle verdicts,
+	// latency percentiles, per-RTU health, and monitor checks.
+	FleetSoakReport = fleet.SoakReport
+	// FaultMatrix is a deterministic, cycle-keyed fleet-wide fault
+	// schedule.
+	FaultMatrix = fleet.Matrix
+	// RTUFleet is a set of real-TCP RTUs with per-bus fault injectors.
+	RTUFleet = fleet.TCPFleet
+)
+
+// NewRTUFleet brings up one TCP RTU per bus, each primed with the
+// telemetry in z and wrapped in its own scripted fault injector.
+func NewRTUFleet(g *Grid, plan *Plan, z *Measurements) (*RTUFleet, error) {
+	return fleet.NewTCPFleet(g, plan, z)
+}
+
+// NewFleetSupervisor builds a fresh continuous-operation supervisor.
+func NewFleetSupervisor(cfg FleetConfig) (*FleetSupervisor, error) { return fleet.New(cfg) }
+
+// ResumeFleetSupervisor rebuilds a supervisor from its loop journal and
+// continues the run where the previous process stopped.
+func ResumeFleetSupervisor(cfg FleetConfig) (*FleetSupervisor, error) { return fleet.Resume(cfg) }
+
+// ParseFaultMatrix parses a cycle-keyed fault-matrix specification such as
+// "bus2:drop@3..5;bus4:delay:250ms@8..9" (empty input: nil matrix).
+func ParseFaultMatrix(s string) (*FaultMatrix, error) { return fleet.ParseMatrix(s) }
+
+// RandomFaultMatrix draws a seeded random fault matrix over the given bus
+// and cycle range; identical seeds give identical schedules.
+func RandomFaultMatrix(seed int64, buses, cycles int, rate float64, maxLen int) *FaultMatrix {
+	return fleet.RandomMatrix(seed, buses, cycles, rate, maxLen)
+}
 
 // SMT engine (exposed for extension and for the ablation benchmarks).
 type (

@@ -1,0 +1,137 @@
+package ems
+
+import (
+	"errors"
+	"testing"
+
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/topo"
+)
+
+// runResilientLoop advances the EMS for the given number of cycles from the
+// starting dispatch, re-measuring the physical system after every AGC step.
+// tamper, when non-nil, may replace the honest telemetry for a cycle. A
+// bad-data abort holds the current dispatch (the operator discards the
+// cycle); any other error fails the test. Returns the dispatch after each
+// cycle and the per-cycle error.
+func runResilientLoop(t *testing.T, g *grid.Grid, plan *measure.Plan, dispatch []float64, cycles int,
+	tamper func(cycle int, z *measure.Vector) *measure.Vector) ([][]float64, []error) {
+	t.Helper()
+	pipe := NewPipeline(g, plan)
+	pipe.ResidualThreshold = 1e-6
+	agc := NewAGC(g)
+	dispatch = append([]float64(nil), dispatch...)
+	var lastGood *measure.Vector
+	history := make([][]float64, cycles)
+	errs := make([]error, cycles)
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Mid-ramp the dispatch is slightly imbalanced; the reference bus
+		// absorbs the residual, as in a real system.
+		loads := g.LoadVector()
+		inj := make([]float64, g.NumBuses())
+		var resid float64
+		for j := range inj {
+			inj[j] = dispatch[j] - loads[j]
+			resid += inj[j]
+		}
+		inj[g.RefBus-1] -= resid
+		pf, err := g.SolvePowerFlowInjections(g.TrueTopology(), inj)
+		if err != nil {
+			t.Fatalf("cycle %d power flow: %v", cycle, err)
+		}
+		z, err := plan.FromPowerFlow(g, pf, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tamper != nil {
+			z = tamper(cycle, z)
+		}
+		res, err := pipe.RunCycleResilient(z, topo.TrueReport(g), dispatch, lastGood)
+		errs[cycle] = err
+		switch {
+		case err == nil:
+			lastGood = z
+			next, err := agc.Step(dispatch, res.Dispatch.Dispatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dispatch = next
+		case errors.Is(err, ErrBadData):
+			// Hold: the operator keeps the machines where they are.
+		default:
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		history[cycle] = append([]float64(nil), dispatch...)
+	}
+	return history, errs
+}
+
+// TestLongitudinalBadDataHold is the longitudinal regression for the
+// degraded EMS: a sustained gross-error episode must abort every affected
+// cycle via bad-data detection, the held dispatch must not drift by a single
+// bit across the episode, and once honest telemetry returns the AGC must
+// re-converge to exactly the dispatch an untampered run reaches.
+func TestLongitudinalBadDataHold(t *testing.T) {
+	g, plan, start, _ := operatingPoint(t)
+	const cycles, tamperFrom, tamperTo = 30, 4, 12
+
+	clean, cleanErrs := runResilientLoop(t, g, plan, start, cycles, nil)
+	for c, err := range cleanErrs {
+		if err != nil {
+			t.Fatalf("clean cycle %d: %v", c, err)
+		}
+	}
+
+	var idx int
+	for i := 1; i <= plan.M(); i++ {
+		if plan.Taken[i] {
+			idx = i
+			break
+		}
+	}
+	if idx == 0 {
+		t.Fatal("plan takes no measurements")
+	}
+	held, heldErrs := runResilientLoop(t, g, plan, start, cycles, func(cycle int, z *measure.Vector) *measure.Vector {
+		if cycle < tamperFrom || cycle >= tamperTo {
+			return z
+		}
+		bad := z.Clone()
+		bad.Values[idx] += 0.5
+		return bad
+	})
+
+	for c := 0; c < cycles; c++ {
+		inEpisode := c >= tamperFrom && c < tamperTo
+		if inEpisode && !errors.Is(heldErrs[c], ErrBadData) {
+			t.Errorf("cycle %d: gross error not detected (err=%v)", c, heldErrs[c])
+		}
+		if !inEpisode && heldErrs[c] != nil {
+			t.Errorf("cycle %d: honest telemetry rejected: %v", c, heldErrs[c])
+		}
+	}
+	// Zero drift across the episode: every held dispatch is bit-identical to
+	// the last accepted one.
+	for c := tamperFrom; c < tamperTo; c++ {
+		for j, v := range held[c] {
+			if v != held[tamperFrom-1][j] {
+				t.Fatalf("cycle %d bus %d: held dispatch drifted %v -> %v", c, j+1, held[tamperFrom-1][j], v)
+			}
+		}
+	}
+	// Re-convergence: the tampered run ends exactly where the clean run ends.
+	for j := range clean[cycles-1] {
+		if held[cycles-1][j] != clean[cycles-1][j] {
+			t.Fatalf("bus %d: post-recovery dispatch %v, clean run %v (must be bit-identical)",
+				j+1, held[cycles-1][j], clean[cycles-1][j])
+		}
+	}
+	// Both runs have settled (the episode is 8 cycles; 30 leaves plenty of
+	// ramp room), so the end state is a true fixpoint, not a coincidence.
+	for j := range clean[cycles-1] {
+		if clean[cycles-1][j] != clean[cycles-2][j] {
+			t.Fatalf("clean run not converged by cycle %d", cycles-1)
+		}
+	}
+}

@@ -26,6 +26,42 @@ type Pipeline struct {
 	Plan *measure.Plan
 	// ResidualThreshold configures bad-data detection (0: chi-square test).
 	ResidualThreshold float64
+	// Warm, when non-nil, routes OPF solves through a warm-started solver
+	// that caches one simplex basis per topology, so repeated re-dispatch on
+	// a stable topology costs a handful of pivots. Warm re-solves reach the
+	// same optimal basis as a cold solve, but the maintained tableau can
+	// differ from a fresh elimination at the last ulp — callers that need
+	// bit-reproducible dispatches across process restarts (the fleet
+	// supervisor) must leave Warm nil.
+	Warm *opf.WarmSolver
+	// Memo, when non-nil, short-circuits OPF solves whose (topology, loads)
+	// bits were seen before, returning a copy of the previously computed
+	// solution. Safe wherever the cold path is: a hit is bit-identical to
+	// re-solving. This is what keeps a quiet continuous-operation cycle
+	// cheap without the warm solver's ulp drift.
+	Memo *OPFMemo
+}
+
+// solveOPF dispatches through the memo and/or warm solver when configured.
+func (p *Pipeline) solveOPF(t grid.Topology, loads []float64) (*opf.Solution, error) {
+	var key string
+	if p.Memo != nil {
+		key = p.Memo.key(p.Grid, t, loads)
+		if sol, ok := p.Memo.get(key); ok {
+			return sol, nil
+		}
+	}
+	var sol *opf.Solution
+	var err error
+	if p.Warm != nil {
+		sol, err = p.Warm.SolveTopology(t, loads)
+	} else {
+		sol, err = opf.Solve(p.Grid, t, loads)
+	}
+	if err == nil && p.Memo != nil {
+		p.Memo.put(key, sol)
+	}
+	return sol, err
 }
 
 // NewPipeline returns an EMS for the grid and measurement plan.
@@ -84,7 +120,7 @@ func (p *Pipeline) RunCycle(z *measure.Vector, report *topo.Report, currentDispa
 			loads[j] = 0
 		}
 	}
-	sol, err := opf.Solve(p.Grid, mapped, loads)
+	sol, err := p.solveOPF(mapped, loads)
 	if err != nil {
 		return nil, fmt.Errorf("ems: OPF: %w", err)
 	}
@@ -146,7 +182,7 @@ func (p *Pipeline) RunCycleResilient(z *measure.Vector, report *topo.Report, cur
 		out.Dispatch = &opf.Solution{Dispatch: append([]float64(nil), currentDispatch...), Cost: p.TrueCost(currentDispatch)}
 		return out, nil
 	}
-	sol, err := opf.Solve(p.Grid, mapped, loads)
+	sol, err := p.solveOPF(mapped, loads)
 	if err != nil {
 		return nil, fmt.Errorf("ems: OPF: %w", err)
 	}

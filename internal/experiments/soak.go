@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/fleet"
+	"gridattack/internal/opf"
+)
+
+// SoakRow is one supervised continuous-operation run at one fault rate: the
+// cycle-outcome counters, recovery totals, and cycle-latency percentiles
+// behind BENCH_soak.json.
+type SoakRow struct {
+	Case      string
+	Buses     int
+	Cycles    int
+	FaultRate float64 // per-(bus,cycle) outage-start probability
+
+	Clean     int // full-collection cycles
+	Degraded  int // degraded or stale cycles (partial/last-good rungs)
+	Held      int // cycles that held the previous dispatch
+	Trips     int // breaker trips across the fleet
+	Recovered int // quarantined RTUs re-admitted
+	Attempts  int // RTU poll attempts
+
+	P50, P90, P99, Max time.Duration // cycle wall-clock latency
+}
+
+// RunSoak drives the supervised loop over the named case once per fault
+// rate: a real-TCP fleet pinned at the attack-free optimum, a seeded
+// cycle-keyed random fault matrix covering the first 90% of the run (so
+// every quarantine closes before the end), and the default health/ladder
+// thresholds. Rate 0 is the unfaulted baseline.
+func RunSoak(name string, cycles int, rates []float64, seed int64) ([]SoakRow, error) {
+	c, err := cases.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(rates) == 0 {
+		rates = []float64{0, 0.001, 0.002, 0.005}
+	}
+	sol, err := opf.Solve(c.Grid, c.Grid.TrueTopology(), nil)
+	if err != nil {
+		return nil, err
+	}
+	op := sol.Dispatch
+	pf, err := c.Grid.SolvePowerFlow(c.Grid.TrueTopology(), op)
+	if err != nil {
+		return nil, err
+	}
+	z, err := c.Plan.FromPowerFlow(c.Grid, pf, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []SoakRow
+	for _, rate := range rates {
+		fl, err := fleet.NewTCPFleet(c.Grid, c.Plan, z)
+		if err != nil {
+			return nil, err
+		}
+		cfg := fleet.Config{
+			CaseName:          name,
+			Grid:              c.Grid,
+			Plan:              c.Plan,
+			Fleet:             fl,
+			Matrix:            fleet.RandomMatrix(seed, c.Grid.NumBuses(), cycles*9/10, rate, 5),
+			OperatingDispatch: op,
+			ResidualThreshold: 1e-6,
+			Timeout:           2 * time.Second,
+		}
+		sup, err := fleet.New(cfg)
+		if err != nil {
+			fl.Close()
+			return nil, err
+		}
+		rep, err := sup.Run(context.Background(), cycles)
+		if err != nil {
+			sup.Close()
+			fl.Close()
+			return nil, err
+		}
+		row := SoakRow{
+			Case:      name,
+			Buses:     c.Grid.NumBuses(),
+			Cycles:    rep.Cycles,
+			FaultRate: rate,
+			Clean:     rep.Counts[fleet.OutcomeClean],
+			Degraded:  rep.Degraded(),
+			Held:      rep.Held(),
+			Recovered: rep.Recovered(),
+			Attempts:  rep.Attempts,
+			P50:       rep.LatencyP50,
+			P90:       rep.LatencyP90,
+			P99:       rep.LatencyP99,
+			Max:       rep.LatencyMax,
+		}
+		for _, st := range rep.RTUs {
+			row.Trips += st.Trips
+		}
+		rows = append(rows, row)
+		if err := sup.Close(); err != nil {
+			fl.Close()
+			return nil, err
+		}
+		fl.Close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives ParseSpec with arbitrary spec strings and checks its
+// contract: it never panics, every rejection wraps ErrSpec and returns the
+// zero Config, and every accepted Config lies in the legal probability
+// region and survives a render/re-parse round trip bit-for-bit.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"   ",
+		"drop=0.2,delay=0.1:50ms,corrupt=0.1,truncate=0.05,reset=0.05",
+		"drop=1",
+		"delay=0.5",
+		"delay=0.25:250ms",
+		"delay=0:1h",
+		"corrupt=0.3",
+		"truncate=0.125",
+		"reset=0.0625",
+		"DROP=0.1, Reset = 0.2",
+		"drop=0.5,,reset=0.5",
+		"drop",
+		"drop=",
+		"drop=x",
+		"drop=-0.1",
+		"drop=1.5",
+		"drop=0.6,reset=0.6",
+		"delay=0.1:",
+		"delay=0.1:-50ms",
+		"delay=0.1:soon",
+		"jitter=0.1",
+		"drop=0.1=0.2",
+		"delay=0.1:50ms:60ms",
+		"drop=NaN",
+		"drop=Inf",
+		"drop=1e-300",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseSpec(s)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("ParseSpec(%q) error %v does not wrap ErrSpec", s, err)
+			}
+			if cfg != (Config{}) {
+				t.Fatalf("ParseSpec(%q) returned non-zero config %+v alongside error", s, cfg)
+			}
+			return
+		}
+		probs := []float64{cfg.Drop, cfg.Delay, cfg.Corrupt, cfg.Truncate, cfg.Reset}
+		sum := 0.0
+		for _, p := range probs {
+			if !(p >= 0 && p <= 1) { // also rejects NaN
+				t.Fatalf("ParseSpec(%q) accepted probability %v outside [0,1]", s, p)
+			}
+			sum += p
+		}
+		if sum > 1 {
+			t.Fatalf("ParseSpec(%q) accepted probabilities summing to %v > 1", s, sum)
+		}
+		if cfg.DelayDuration < 0 {
+			t.Fatalf("ParseSpec(%q) accepted negative delay duration %v", s, cfg.DelayDuration)
+		}
+		if rt, err := ParseSpec(renderSpec(cfg)); err != nil {
+			t.Fatalf("re-parse of rendered %q (from %q): %v", renderSpec(cfg), s, err)
+		} else if rt != cfg {
+			t.Fatalf("round trip of %q changed config: %+v -> %+v", s, cfg, rt)
+		}
+	})
+}
+
+// renderSpec writes cfg back in ParseSpec's input syntax with shortest
+// round-trip float formatting.
+func renderSpec(cfg Config) string {
+	var parts []string
+	add := func(kind string, p float64) {
+		if p != 0 {
+			parts = append(parts, kind+"="+strconv.FormatFloat(p, 'g', -1, 64))
+		}
+	}
+	add("drop", cfg.Drop)
+	delay := "delay=" + strconv.FormatFloat(cfg.Delay, 'g', -1, 64)
+	if cfg.DelayDuration > 0 {
+		delay += ":" + cfg.DelayDuration.String()
+	}
+	if cfg.Delay != 0 || cfg.DelayDuration > 0 {
+		parts = append(parts, delay)
+	}
+	add("corrupt", cfg.Corrupt)
+	add("truncate", cfg.Truncate)
+	add("reset", cfg.Reset)
+	return strings.Join(parts, ",")
+}

@@ -46,7 +46,7 @@ func ParseSpec(s string) (Config, error) {
 			}
 		}
 		p, err := strconv.ParseFloat(val, 64)
-		if err != nil || p < 0 || p > 1 {
+		if err != nil || !(p >= 0 && p <= 1) { // !(...) also rejects NaN
 			return Config{}, fmt.Errorf("%w: probability %q for %s", ErrSpec, val, key)
 		}
 		switch key {

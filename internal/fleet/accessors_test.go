@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConfigDefaults pins the documented zero-value and negative-value
+// behavior of every Config knob resolver.
+func TestConfigDefaults(t *testing.T) {
+	if got := (&Config{}).timeout(); got != 2*time.Second {
+		t.Errorf("zero Timeout resolves to %v, want 2s", got)
+	}
+	if got := (&Config{Timeout: -time.Second}).timeout(); got != 2*time.Second {
+		t.Errorf("negative Timeout resolves to %v, want 2s", got)
+	}
+	if got := (&Config{Timeout: 7 * time.Second}).timeout(); got != 7*time.Second {
+		t.Errorf("explicit Timeout resolves to %v, want 7s", got)
+	}
+	if got := (&Config{Retries: -1}).retries(); got != 0 {
+		t.Errorf("Retries -1 resolves to %d, want 0 (disabled)", got)
+	}
+	if got := (&Config{}).retries(); got != 2 {
+		t.Errorf("zero Retries resolves to %d, want 2", got)
+	}
+	if got := (&Config{Retries: 5}).retries(); got != 5 {
+		t.Errorf("explicit Retries resolves to %d, want 5", got)
+	}
+	if got := (&Config{}).quarantineAfter(); got != 3 {
+		t.Errorf("zero QuarantineAfter resolves to %d, want 3", got)
+	}
+	if got := (&Config{QuarantineAfter: 7}).quarantineAfter(); got != 7 {
+		t.Errorf("explicit QuarantineAfter resolves to %d, want 7", got)
+	}
+	if got := (&Config{}).quarantineWindow(); got != 2 {
+		t.Errorf("zero QuarantineWindow resolves to %d, want 2", got)
+	}
+	if got := (&Config{QuarantineWindow: 9}).quarantineWindow(); got != 9 {
+		t.Errorf("explicit QuarantineWindow resolves to %d, want 9", got)
+	}
+	if got := (&Config{}).freezeAfterBadData(); got != 3 {
+		t.Errorf("zero FreezeAfterBadData resolves to %d, want 3", got)
+	}
+	if got := (&Config{FreezeAfterBadData: 4}).freezeAfterBadData(); got != 4 {
+		t.Errorf("explicit FreezeAfterBadData resolves to %d, want 4", got)
+	}
+}
+
+// TestFleetAndSupervisorAccessors covers the harness-wiring surface: fleet
+// size and addresses, the supervisor's center handle, the monitor cache
+// seeder, and the report's degraded-cycle tally.
+func TestFleetAndSupervisorAccessors(t *testing.T) {
+	cfg, _, _ := newHarness(t)
+	fl := cfg.Fleet
+	if fl.Size() != cfg.Grid.NumBuses() {
+		t.Fatalf("Size() = %d, want one RTU per bus (%d)", fl.Size(), cfg.Grid.NumBuses())
+	}
+	for bus := 1; bus <= cfg.Grid.NumBuses(); bus++ {
+		if fl.Addr(bus) == "" {
+			t.Fatalf("Addr(%d) empty, want a listening address", bus)
+		}
+	}
+	if fl.Addr(99) != "" {
+		t.Fatalf("Addr(99) = %q, want empty for an absent bus", fl.Addr(99))
+	}
+
+	sup, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if sup.Center() == nil {
+		t.Fatal("Center() = nil, want the collection center")
+	}
+	if got := sup.Center().Registered(); len(got) != fl.Size() {
+		t.Fatalf("center has %d registered RTUs, want %d", len(got), fl.Size())
+	}
+
+	m := NewMonitor(cfg.Grid, cfg.Plan, []float64{5})
+	m.Seed(map[string][]MonitorVerdict{"fp": {{}}})
+	if len(m.cache) != 1 {
+		t.Fatalf("Seed left %d cached fingerprints, want 1", len(m.cache))
+	}
+
+	r := newSoakReport()
+	r.observe(OutcomeDegraded, time.Millisecond)
+	r.observe(OutcomeStale, time.Millisecond)
+	r.observe(OutcomeClean, time.Millisecond)
+	r.observe(OutcomeWatchdog, time.Millisecond)
+	if r.Degraded() != 2 {
+		t.Fatalf("Degraded() = %d, want 2 (degraded + stale)", r.Degraded())
+	}
+	if r.Held() != 1 {
+		t.Fatalf("Held() = %d, want 1 (watchdog)", r.Held())
+	}
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+
+	"gridattack/internal/faultinject"
+	"gridattack/internal/grid"
+	"gridattack/internal/measure"
+	"gridattack/internal/scada"
+)
+
+// TCPFleet is a real-TCP RTU fleet: one RTU per bus, each listening on a
+// loopback port behind its own (initially pass-through) fault injector, so a
+// fault matrix can target any bus. The RTUs serve a pinned telemetry
+// snapshot until a harness updates them.
+type TCPFleet struct {
+	// Injectors holds each bus's fault injector; the supervisor re-scripts
+	// them per cycle from the fault matrix.
+	Injectors map[int]*faultinject.Injector
+
+	rtus  map[int]*scada.RTU
+	addrs map[int]string
+}
+
+// NewTCPFleet brings up one RTU per bus of the grid serving telemetry z,
+// every listener wrapped in a pass-through scripted injector. Callers own
+// the fleet and must Close it.
+func NewTCPFleet(g *grid.Grid, plan *measure.Plan, z *measure.Vector) (*TCPFleet, error) {
+	f := &TCPFleet{
+		Injectors: make(map[int]*faultinject.Injector, g.NumBuses()),
+		rtus:      make(map[int]*scada.RTU, g.NumBuses()),
+		addrs:     make(map[int]string, g.NumBuses()),
+	}
+	for bus := 1; bus <= g.NumBuses(); bus++ {
+		rtu := scada.NewRTU(g, plan, bus)
+		rtu.UpdateFromVector(z)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: listen for bus %d: %w", bus, err)
+		}
+		inj := faultinject.NewScripted() // pass-through until the matrix scripts it
+		f.Injectors[bus] = inj
+		f.addrs[bus] = rtu.Serve(inj.WrapListener(l))
+		f.rtus[bus] = rtu
+	}
+	return f, nil
+}
+
+// Register records every RTU's address with a collection center.
+func (f *TCPFleet) Register(c *scada.Center) {
+	for bus, addr := range f.addrs {
+		c.Register(bus, addr)
+	}
+}
+
+// RTU returns the RTU serving a bus (nil when absent) so harnesses can
+// tamper with its telemetry or breaker statuses mid-soak.
+func (f *TCPFleet) RTU(bus int) *scada.RTU { return f.rtus[bus] }
+
+// Addr returns the address a bus's RTU listens on.
+func (f *TCPFleet) Addr(bus int) string { return f.addrs[bus] }
+
+// Size returns the number of RTUs in the fleet.
+func (f *TCPFleet) Size() int { return len(f.rtus) }
+
+// Close shuts down every RTU listener.
+func (f *TCPFleet) Close() {
+	for _, rtu := range f.rtus {
+		_ = rtu.Close()
+	}
+}

@@ -1,0 +1,219 @@
+package fleet
+
+import "sort"
+
+// HealthState is one RTU's position in the supervision state machine.
+type HealthState int
+
+// Health states, ordered by severity.
+const (
+	// Healthy: the RTU answered its last poll and owes no probation.
+	Healthy HealthState = iota
+	// Degraded: the RTU failed recently but has not yet been quarantined.
+	Degraded
+	// Quarantined: consecutive failures crossed the threshold; the
+	// supervisor stops spending its cycle budget on this RTU (the circuit
+	// breaker skips it) until a half-open probe succeeds.
+	Quarantined
+	// Recovering: a probe succeeded after quarantine; the RTU is on
+	// probation and must answer ReadmitAfter consecutive polls before it is
+	// declared Healthy again. A failure during probation re-quarantines.
+	Recovering
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	case Recovering:
+		return "recovering"
+	default:
+		return "unknown"
+	}
+}
+
+// rtuHealth is the per-RTU record inside the tracker.
+type rtuHealth struct {
+	State       HealthState
+	ConsecFails int
+	ConsecOKs   int
+	Trips       int // Healthy/Degraded -> Quarantined transitions
+	Recoveries  int // Recovering -> Healthy transitions
+}
+
+// HealthTracker folds per-cycle poll outcomes into the four-state health
+// machine. It is driven by the supervisor from CollectPartial results: a bus
+// in Failed counts as a failure, a bus in Skipped keeps its quarantine, and
+// every other registered bus counts as a success.
+type HealthTracker struct {
+	// QuarantineAfter is how many consecutive failures move an RTU from
+	// Degraded to Quarantined (0: 3 — matches the circuit-breaker default).
+	QuarantineAfter int
+	// ReadmitAfter is how many consecutive successes a Recovering RTU needs
+	// before it is Healthy again (0: 2).
+	ReadmitAfter int
+
+	rtus map[int]*rtuHealth
+}
+
+// NewHealthTracker returns a tracker with every listed bus Healthy.
+func NewHealthTracker(buses []int) *HealthTracker {
+	t := &HealthTracker{rtus: make(map[int]*rtuHealth, len(buses))}
+	for _, b := range buses {
+		t.rtus[b] = &rtuHealth{}
+	}
+	return t
+}
+
+func (t *HealthTracker) quarantineAfter() int {
+	if t.QuarantineAfter <= 0 {
+		return 3
+	}
+	return t.QuarantineAfter
+}
+
+func (t *HealthTracker) readmitAfter() int {
+	if t.ReadmitAfter <= 0 {
+		return 2
+	}
+	return t.ReadmitAfter
+}
+
+func (t *HealthTracker) get(bus int) *rtuHealth {
+	h, ok := t.rtus[bus]
+	if !ok {
+		h = &rtuHealth{}
+		t.rtus[bus] = h
+	}
+	return h
+}
+
+// Success records a completed poll for a bus.
+func (t *HealthTracker) Success(bus int) {
+	h := t.get(bus)
+	h.ConsecFails = 0
+	switch h.State {
+	case Healthy:
+	case Degraded:
+		h.State = Healthy
+		h.ConsecOKs = 0
+	case Quarantined:
+		// A success while quarantined is the half-open probe landing.
+		h.State = Recovering
+		h.ConsecOKs = 1
+		t.checkReadmit(h)
+	case Recovering:
+		h.ConsecOKs++
+		t.checkReadmit(h)
+	}
+}
+
+func (t *HealthTracker) checkReadmit(h *rtuHealth) {
+	if h.ConsecOKs >= t.readmitAfter() {
+		h.State = Healthy
+		h.ConsecOKs = 0
+		h.Recoveries++
+	}
+}
+
+// Failure records a failed poll for a bus.
+func (t *HealthTracker) Failure(bus int) {
+	h := t.get(bus)
+	h.ConsecFails++
+	h.ConsecOKs = 0
+	switch h.State {
+	case Healthy:
+		h.State = Degraded
+	case Degraded:
+		if h.ConsecFails >= t.quarantineAfter() {
+			h.State = Quarantined
+			h.Trips++
+		}
+	case Recovering:
+		// Probation failed: straight back to quarantine.
+		h.State = Quarantined
+		h.Trips++
+	case Quarantined:
+	}
+}
+
+// Skipped records a poll that never happened because the breaker was open;
+// quarantine state is held, nothing else changes.
+func (t *HealthTracker) Skipped(bus int) {
+	h := t.get(bus)
+	if h.State == Healthy || h.State == Degraded {
+		// Breaker open but tracker lagging (e.g. after resume into a
+		// restored breaker): align.
+		h.State = Quarantined
+	}
+}
+
+// State returns a bus's current health state.
+func (t *HealthTracker) State(bus int) HealthState { return t.get(bus).State }
+
+// Counts returns how many RTUs sit in each state.
+func (t *HealthTracker) Counts() (healthy, degraded, quarantined, recovering int) {
+	for _, h := range t.rtus {
+		switch h.State {
+		case Healthy:
+			healthy++
+		case Degraded:
+			degraded++
+		case Quarantined:
+			quarantined++
+		case Recovering:
+			recovering++
+		}
+	}
+	return
+}
+
+// Buses returns the tracked buses, ascending.
+func (t *HealthTracker) Buses() []int {
+	out := make([]int, 0, len(t.rtus))
+	for b := range t.rtus {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RTUStat is one RTU's exported health record.
+type RTUStat struct {
+	Bus         int         `json:"bus"`
+	State       HealthState `json:"state"`
+	ConsecFails int         `json:"consec_fails,omitempty"`
+	ConsecOKs   int         `json:"consec_oks,omitempty"`
+	Trips       int         `json:"trips,omitempty"`
+	Recoveries  int         `json:"recoveries,omitempty"`
+}
+
+// Snapshot exports every RTU's record, ordered by bus — the journal's fleet
+// sub-record and the soak report's per-RTU table.
+func (t *HealthTracker) Snapshot() []RTUStat {
+	out := make([]RTUStat, 0, len(t.rtus))
+	for _, b := range t.Buses() {
+		h := t.rtus[b]
+		out = append(out, RTUStat{
+			Bus: b, State: h.State,
+			ConsecFails: h.ConsecFails, ConsecOKs: h.ConsecOKs,
+			Trips: h.Trips, Recoveries: h.Recoveries,
+		})
+	}
+	return out
+}
+
+// Restore reinstates a Snapshot, replacing all current records.
+func (t *HealthTracker) Restore(stats []RTUStat) {
+	t.rtus = make(map[int]*rtuHealth, len(stats))
+	for _, s := range stats {
+		t.rtus[s.Bus] = &rtuHealth{
+			State: s.State, ConsecFails: s.ConsecFails, ConsecOKs: s.ConsecOKs,
+			Trips: s.Trips, Recoveries: s.Recoveries,
+		}
+	}
+}

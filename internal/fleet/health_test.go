@@ -1,0 +1,124 @@
+package fleet
+
+import "testing"
+
+func TestHealthMachineLifecycle(t *testing.T) {
+	h := NewHealthTracker([]int{1, 2})
+	if h.State(1) != Healthy {
+		t.Fatalf("initial state = %v", h.State(1))
+	}
+
+	// One failure degrades; quarantine needs QuarantineAfter consecutive.
+	h.Failure(1)
+	if h.State(1) != Degraded {
+		t.Fatalf("after 1 failure: %v", h.State(1))
+	}
+	h.Failure(1)
+	if h.State(1) != Degraded {
+		t.Fatalf("after 2 failures: %v", h.State(1))
+	}
+	h.Failure(1)
+	if h.State(1) != Quarantined {
+		t.Fatalf("after 3 failures: %v", h.State(1))
+	}
+
+	// Skipped polls hold quarantine.
+	h.Skipped(1)
+	if h.State(1) != Quarantined {
+		t.Fatalf("after skip: %v", h.State(1))
+	}
+
+	// A successful probe starts probation; ReadmitAfter successes readmit.
+	h.Success(1)
+	if h.State(1) != Recovering {
+		t.Fatalf("after probe: %v", h.State(1))
+	}
+	h.Success(1)
+	if h.State(1) != Healthy {
+		t.Fatalf("after readmission: %v", h.State(1))
+	}
+
+	stats := h.Snapshot()
+	if stats[0].Bus != 1 || stats[0].Trips != 1 || stats[0].Recoveries != 1 {
+		t.Fatalf("stats[0] = %+v", stats[0])
+	}
+	if stats[1].Bus != 2 || stats[1].State != Healthy {
+		t.Fatalf("stats[1] = %+v", stats[1])
+	}
+}
+
+func TestHealthProbationFailureRequarantines(t *testing.T) {
+	h := NewHealthTracker([]int{4})
+	for i := 0; i < 3; i++ {
+		h.Failure(4)
+	}
+	h.Success(4) // probe lands
+	if h.State(4) != Recovering {
+		t.Fatalf("state = %v", h.State(4))
+	}
+	h.Failure(4) // probation violated
+	if h.State(4) != Quarantined {
+		t.Fatalf("state after probation failure = %v", h.State(4))
+	}
+	if trips := h.Snapshot()[0].Trips; trips != 2 {
+		t.Fatalf("trips = %d, want 2", trips)
+	}
+}
+
+func TestHealthDegradedRecoversDirectly(t *testing.T) {
+	h := NewHealthTracker([]int{9})
+	h.Failure(9)
+	h.Success(9)
+	if h.State(9) != Healthy {
+		t.Fatalf("degraded RTU must heal on one success, got %v", h.State(9))
+	}
+	if rec := h.Snapshot()[0].Recoveries; rec != 0 {
+		t.Fatalf("a degraded blip is not a recovery, got %d", rec)
+	}
+}
+
+func TestHealthSnapshotRestore(t *testing.T) {
+	h := NewHealthTracker([]int{1, 2, 3})
+	h.Failure(2)
+	for i := 0; i < 3; i++ {
+		h.Failure(3)
+	}
+	snap := h.Snapshot()
+
+	h2 := NewHealthTracker([]int{1, 2, 3})
+	h2.Restore(snap)
+	for _, bus := range []int{1, 2, 3} {
+		if h2.State(bus) != h.State(bus) {
+			t.Fatalf("bus %d restored to %v, want %v", bus, h2.State(bus), h.State(bus))
+		}
+	}
+	healthy, degraded, quarantined, recovering := h2.Counts()
+	if healthy != 1 || degraded != 1 || quarantined != 1 || recovering != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d", healthy, degraded, quarantined, recovering)
+	}
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	want := map[HealthState]string{
+		Healthy: "healthy", Degraded: "degraded",
+		Quarantined: "quarantined", Recovering: "recovering",
+		HealthState(99): "unknown",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}
+
+func TestHealthReadmitAfterOne(t *testing.T) {
+	h := NewHealthTracker([]int{1})
+	h.ReadmitAfter = 1
+	for i := 0; i < 3; i++ {
+		h.Failure(1)
+	}
+	h.Success(1)
+	if h.State(1) != Healthy {
+		t.Fatalf("ReadmitAfter=1 must readmit on the probe itself, got %v", h.State(1))
+	}
+}

@@ -1,0 +1,326 @@
+// Loop journal: an append-only, fsync'd, hash-chained record of the
+// continuous-operation loop's progress (same integrity construction as the
+// core checkpoint journal). A supervisor killed mid-soak resumes from it
+// with the remaining cycles' verdict sequence identical to an uninterrupted
+// run: the journal carries the dispatch on the machines, the AGC set-point,
+// the degradation-ladder rung, the per-RTU health and breaker state, the
+// last-good telemetry, and the monitor's verdict cache.
+//
+// State is delta-encoded: a cycle record carries a Disp/Tele/Fleet
+// sub-record only when that slice of state changed, so a healthy steady
+// state costs a few dozen bytes per cycle instead of re-serializing a
+// 118-bus fleet.
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// journalVersion identifies the loop-journal format; bump on layout changes.
+const journalVersion = 1
+
+// ErrJournal reports a corrupt, mismatched, or unreadable loop journal.
+var ErrJournal = errors.New("fleet: invalid loop journal")
+
+// Journal record kinds.
+const (
+	recHeader  = "header"
+	recCycle   = "cycle"
+	recMonitor = "monitor"
+)
+
+// JournalConfig fingerprints the soak a journal belongs to. Resuming against
+// a journal whose configuration differs is refused: the journaled fault
+// trace and verdicts would not match the fleet the supervisor rebuilds.
+// Cadence and deadline are deliberately excluded — they shape wall-clock
+// timing, not verdicts, and an operator may legitimately resume with a
+// different pacing.
+type JournalConfig struct {
+	Case            string    `json:"case"`
+	Buses           int       `json:"buses"`
+	Lines           int       `json:"lines"`
+	MatrixSpec      string    `json:"matrix_spec,omitempty"`
+	Retries         int       `json:"retries"`
+	QuarantineAfter int       `json:"quarantine_after"`
+	ReadmitAfter    int       `json:"readmit_after"`
+	DeescalateAfter int       `json:"deescalate_after"`
+	FreezeAfterBad  int       `json:"freeze_after_bad"`
+	Targets         []float64 `json:"targets,omitempty"`
+	Operating       []float64 `json:"operating,omitempty"`
+}
+
+// DispState is the dispatch slice of loop state: what is on the machines and
+// what AGC is ramping toward.
+type DispState struct {
+	Dispatch []float64 `json:"dispatch"`
+	Setpoint []float64 `json:"setpoint"`
+}
+
+// TeleState is the telemetry slice: the last good measurement snapshot and
+// the last known line statuses (keyed by line ID).
+type TeleState struct {
+	Values   []float64    `json:"values"`
+	Present  []bool       `json:"present"`
+	Statuses map[int]bool `json:"statuses"`
+}
+
+// BreakerRec checkpoints one circuit breaker. OpenUntil is in logical-clock
+// nanoseconds (the supervisor drives breakers with time.Unix(0, cycle)).
+type BreakerRec struct {
+	Bus       int   `json:"bus"`
+	Failures  int   `json:"failures"`
+	Trips     int   `json:"trips"`
+	OpenUntil int64 `json:"open_until,omitempty"`
+}
+
+// FleetState is the supervision slice: per-RTU health and breaker state.
+type FleetState struct {
+	Health   []RTUStat    `json:"health"`
+	Breakers []BreakerRec `json:"breakers,omitempty"`
+}
+
+// MonitorVerdict is one target's attack-impact verdict from the online
+// monitor — the journaled form of a core ladder report.
+type MonitorVerdict struct {
+	TargetPercent float64 `json:"target_percent"`
+	Found         bool    `json:"found"`
+	Exhausted     bool    `json:"exhausted"`
+	BaselineCost  float64 `json:"baseline_cost"`
+	AttackedCost  float64 `json:"attacked_cost,omitempty"`
+	LineID        int     `json:"line_id,omitempty"`
+}
+
+// JournalRecord is one line of the loop journal.
+type JournalRecord struct {
+	Kind string `json:"kind"`
+
+	// Header fields.
+	Version int            `json:"version,omitempty"`
+	Config  *JournalConfig `json:"config,omitempty"`
+
+	// Cycle fields. Cycle is 1-based; Outcome is the CycleOutcome string;
+	// the state sub-records are present only when that state changed.
+	Cycle     int    `json:"cycle,omitempty"`
+	Outcome   string `json:"outcome,omitempty"`
+	Mode      Mode   `json:"mode,omitempty"`
+	Cleaner   int    `json:"cleaner,omitempty"`
+	BadStreak int    `json:"bad_streak,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+	Skipped   int    `json:"skipped,omitempty"`
+
+	Disp  *DispState  `json:"disp,omitempty"`
+	Tele  *TeleState  `json:"tele,omitempty"`
+	Fleet *FleetState `json:"fleet,omitempty"`
+
+	// Monitor fields: verdicts for a drifted-topology snapshot, keyed by the
+	// snapshot fingerprint the warm-start cache uses.
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	Verdicts    []MonitorVerdict `json:"verdicts,omitempty"`
+
+	// Hash chain: Prev is the predecessor's Hash ("" for the header); Hash
+	// is the hex SHA-256 of this record marshaled with Hash set to "".
+	Prev string `json:"prev"`
+	Hash string `json:"hash"`
+}
+
+// journalRecordHash computes the chain hash of rec (its Hash field is
+// ignored).
+func journalRecordHash(rec *JournalRecord) (string, error) {
+	clone := *rec
+	clone.Hash = ""
+	payload, err := json.Marshal(&clone)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Journal is an open loop journal positioned for appending.
+type Journal struct {
+	f    *os.File
+	path string
+	prev string
+}
+
+// CreateJournal starts a fresh loop journal at path (truncating any previous
+// content) and writes the fsync'd header record.
+func CreateJournal(path string, cfg JournalConfig) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.append(&JournalRecord{Kind: recHeader, Version: journalVersion, Config: &cfg}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournal reads an existing loop journal, verifies the hash chain,
+// truncates a torn unterminated final line, and returns the journal
+// positioned for appending together with its configuration and the records
+// after the header.
+func OpenJournal(path string) (*Journal, *JournalConfig, []JournalRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	keep := len(data)
+	if keep > 0 && data[keep-1] != '\n' {
+		// Torn tail: the supervisor died inside a write. The unterminated
+		// record was never acted on (appends are fsync'd before the loop
+		// advances), so dropping it is safe.
+		if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+			keep = i + 1
+		} else {
+			keep = 0
+		}
+		if err := os.Truncate(path, int64(keep)); err != nil {
+			return nil, nil, nil, err
+		}
+		data = data[:keep]
+	}
+	if keep == 0 {
+		return nil, nil, nil, fmt.Errorf("%w: %s holds no complete records", ErrJournal, path)
+	}
+
+	var cfg *JournalConfig
+	var recs []JournalRecord
+	prev := ""
+	for n, line := range bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n")) {
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: %s line %d: %v", ErrJournal, path, n+1, err)
+		}
+		want, err := journalRecordHash(&rec)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if rec.Hash != want {
+			return nil, nil, nil, fmt.Errorf("%w: %s line %d: hash mismatch (content altered)", ErrJournal, path, n+1)
+		}
+		if rec.Prev != prev {
+			return nil, nil, nil, fmt.Errorf("%w: %s line %d: broken hash chain (records altered or reordered)", ErrJournal, path, n+1)
+		}
+		prev = rec.Hash
+		if n == 0 {
+			if rec.Kind != recHeader || rec.Config == nil {
+				return nil, nil, nil, fmt.Errorf("%w: %s does not start with a header record", ErrJournal, path)
+			}
+			if rec.Version != journalVersion {
+				return nil, nil, nil, fmt.Errorf("%w: %s has format version %d, this build reads %d", ErrJournal, path, rec.Version, journalVersion)
+			}
+			cfg = rec.Config
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if cfg == nil {
+		return nil, nil, nil, fmt.Errorf("%w: %s does not start with a header record", ErrJournal, path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &Journal{f: f, path: path, prev: prev}, cfg, recs, nil
+}
+
+// append chains, writes, and fsyncs one record.
+func (j *Journal) append(rec *JournalRecord) error {
+	rec.Prev = j.prev
+	h, err := journalRecordHash(rec)
+	if err != nil {
+		return err
+	}
+	rec.Hash = h
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("fleet: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: journal sync: %w", err)
+	}
+	j.prev = rec.Hash
+	return nil
+}
+
+// AppendCycle records one completed supervision cycle.
+func (j *Journal) AppendCycle(rec *JournalRecord) error {
+	rec.Kind = recCycle
+	return j.append(rec)
+}
+
+// AppendMonitor records the online monitor's verdicts for a topology
+// snapshot, making them replayable on resume (the warm-start cache).
+func (j *Journal) AppendMonitor(cycle int, fingerprint string, verdicts []MonitorVerdict) error {
+	return j.append(&JournalRecord{Kind: recMonitor, Cycle: cycle, Fingerprint: fingerprint, Verdicts: verdicts})
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// LoopState is the journal's records folded forward: everything a fresh
+// supervisor needs to continue the loop as if never interrupted.
+type LoopState struct {
+	LastCycle int
+	Mode      Mode
+	Cleaner   int
+	BadStreak int
+
+	Disp  *DispState
+	Tele  *TeleState
+	Fleet *FleetState
+
+	// MonitorCache maps snapshot fingerprints to journaled verdicts.
+	MonitorCache map[string][]MonitorVerdict
+
+	// Outcomes is the per-cycle outcome string sequence, 1-based at index 0
+	// = cycle 1 (used by kill-and-resume verification and reporting).
+	Outcomes []string
+}
+
+// FoldRecords replays journal records into the latest loop state.
+func FoldRecords(recs []JournalRecord) *LoopState {
+	st := &LoopState{MonitorCache: make(map[string][]MonitorVerdict)}
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Kind {
+		case recCycle:
+			st.LastCycle = rec.Cycle
+			st.Mode = rec.Mode
+			st.Cleaner = rec.Cleaner
+			st.BadStreak = rec.BadStreak
+			if rec.Disp != nil {
+				st.Disp = rec.Disp
+			}
+			if rec.Tele != nil {
+				st.Tele = rec.Tele
+			}
+			if rec.Fleet != nil {
+				st.Fleet = rec.Fleet
+			}
+			st.Outcomes = append(st.Outcomes, rec.Outcome)
+		case recMonitor:
+			st.MonitorCache[rec.Fingerprint] = rec.Verdicts
+		}
+	}
+	return st
+}

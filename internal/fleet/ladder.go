@@ -1,0 +1,106 @@
+package fleet
+
+// Mode is a rung of the degradation ladder, ordered by severity. The
+// supervisor escalates immediately to whatever rung the current cycle
+// demands, but de-escalates only one rung at a time after DeescalateAfter
+// consecutive cleaner cycles — asymmetric hysteresis that prevents an
+// oscillating fault from whipsawing the operator between modes.
+type Mode int
+
+// Degradation rungs.
+const (
+	// ModeNormal: full collection succeeded; run the ordinary EMS cycle.
+	ModeNormal Mode = iota
+	// ModePartial: some RTUs are dark; run SE on the survivors with
+	// pseudo-measurements (RunCycleResilient on partial telemetry).
+	ModePartial
+	// ModeLastGood: too few survivors for a trustworthy estimate; run the
+	// cycle on the last good telemetry snapshot and flag the dispatch stale.
+	ModeLastGood
+	// ModeFreeze: telemetry cannot be trusted at all (persistent bad data or
+	// SE failure); hold the last safe dispatch and stop re-dispatching until
+	// conditions improve. SE still runs each cycle so recovery is observed.
+	ModeFreeze
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModePartial:
+		return "partial"
+	case ModeLastGood:
+		return "last-good"
+	case ModeFreeze:
+		return "freeze"
+	default:
+		return "unknown"
+	}
+}
+
+// Ladder tracks the current rung and applies the hysteresis rule.
+type Ladder struct {
+	// DeescalateAfter is how many consecutive cycles whose demanded rung is
+	// below the current one are required before stepping down one rung
+	// (0: 3).
+	DeescalateAfter int
+
+	mode    Mode
+	cleaner int // consecutive cycles demanding a lower rung
+}
+
+func (l *Ladder) deescalateAfter() int {
+	if l.DeescalateAfter <= 0 {
+		return 3
+	}
+	return l.DeescalateAfter
+}
+
+// Mode returns the current rung.
+func (l *Ladder) Mode() Mode { return l.mode }
+
+// Observe folds one cycle's demanded rung into the ladder and returns the
+// rung the cycle should (have) run at. Escalation is immediate; descent is
+// one rung per DeescalateAfter clean cycles.
+func (l *Ladder) Observe(demand Mode) Mode {
+	switch {
+	case demand >= l.mode:
+		if demand > l.mode {
+			l.mode = demand
+		}
+		l.cleaner = 0
+	default:
+		l.cleaner++
+		if l.cleaner >= l.deescalateAfter() {
+			l.mode--
+			l.cleaner = 0
+		}
+	}
+	return l.mode
+}
+
+// Restore reinstates journaled ladder state.
+func (l *Ladder) Restore(mode Mode, cleaner int) {
+	l.mode = mode
+	l.cleaner = cleaner
+}
+
+// Cleaner exposes the consecutive-cleaner-cycle counter for checkpointing.
+func (l *Ladder) Cleaner() int { return l.cleaner }
+
+// DemandFor maps a cycle's collection outcome to the rung it demands: full
+// telemetry demands Normal, a minority of dark RTUs demands Partial, and a
+// majority demands LastGood. dark counts every bus without fresh telemetry
+// this round (breaker-skipped buses included). Freeze is never demanded by
+// collection alone — only persistent bad data or SE failure escalates to it
+// (the supervisor handles that separately).
+func DemandFor(dark, fleetSize int) Mode {
+	switch {
+	case dark == 0:
+		return ModeNormal
+	case fleetSize > 0 && dark*2 >= fleetSize:
+		return ModeLastGood
+	default:
+		return ModePartial
+	}
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import "testing"
+
+func TestLadderEscalatesImmediately(t *testing.T) {
+	l := &Ladder{}
+	if got := l.Observe(ModeLastGood); got != ModeLastGood {
+		t.Fatalf("Observe(LastGood) = %v", got)
+	}
+	if got := l.Observe(ModeFreeze); got != ModeFreeze {
+		t.Fatalf("Observe(Freeze) = %v", got)
+	}
+}
+
+func TestLadderHysteresisDescent(t *testing.T) {
+	l := &Ladder{DeescalateAfter: 3}
+	l.Observe(ModeFreeze)
+	// Two clean cycles are not enough.
+	l.Observe(ModeNormal)
+	l.Observe(ModeNormal)
+	if l.Mode() != ModeFreeze {
+		t.Fatalf("descended too early: %v", l.Mode())
+	}
+	// Third clean cycle steps down exactly one rung.
+	if got := l.Observe(ModeNormal); got != ModeLastGood {
+		t.Fatalf("after 3 clean = %v, want last-good", got)
+	}
+	// Full descent takes 3 cycles per rung.
+	for i := 0; i < 3; i++ {
+		l.Observe(ModeNormal)
+	}
+	if l.Mode() != ModePartial {
+		t.Fatalf("after 6 clean = %v, want partial", l.Mode())
+	}
+	for i := 0; i < 3; i++ {
+		l.Observe(ModeNormal)
+	}
+	if l.Mode() != ModeNormal {
+		t.Fatalf("after 9 clean = %v, want normal", l.Mode())
+	}
+}
+
+func TestLadderReescalationResetsHysteresis(t *testing.T) {
+	l := &Ladder{DeescalateAfter: 3}
+	l.Observe(ModeLastGood)
+	l.Observe(ModeNormal)
+	l.Observe(ModeNormal)
+	// A dirty cycle at the current rung resets the cleaner count.
+	l.Observe(ModeLastGood)
+	l.Observe(ModeNormal)
+	l.Observe(ModeNormal)
+	if l.Mode() != ModeLastGood {
+		t.Fatalf("mode = %v, want last-good (cleaner count was reset)", l.Mode())
+	}
+	l.Observe(ModeNormal)
+	if l.Mode() != ModePartial {
+		t.Fatalf("mode = %v, want partial", l.Mode())
+	}
+}
+
+func TestLadderRestore(t *testing.T) {
+	l := &Ladder{}
+	l.Restore(ModeFreeze, 2)
+	if l.Mode() != ModeFreeze || l.Cleaner() != 2 {
+		t.Fatalf("restore: mode=%v cleaner=%d", l.Mode(), l.Cleaner())
+	}
+	// One more cleaner cycle completes the default hysteresis of 3.
+	if got := l.Observe(ModeNormal); got != ModeLastGood {
+		t.Fatalf("Observe after restore = %v", got)
+	}
+}
+
+func TestDemandFor(t *testing.T) {
+	tests := []struct {
+		dark, fleet int
+		want        Mode
+	}{
+		{0, 10, ModeNormal},
+		{1, 10, ModePartial},
+		{4, 10, ModePartial},
+		{5, 10, ModeLastGood}, // half the fleet dark
+		{10, 10, ModeLastGood},
+	}
+	for _, tc := range tests {
+		if got := DemandFor(tc.dark, tc.fleet); got != tc.want {
+			t.Errorf("DemandFor(%d,%d) = %v, want %v", tc.dark, tc.fleet, got, tc.want)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		ModeNormal: "normal", ModePartial: "partial",
+		ModeLastGood: "last-good", ModeFreeze: "freeze",
+		Mode(42): "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gridattack/internal/faultinject"
+)
+
+func TestParseMatrixRoundTrip(t *testing.T) {
+	spec := "bus3:drop@5..10;bus7:reset@2;bus1:delay:200ms@4..6;bus2:corrupt@9;bus5:truncate@1..3"
+	m, err := ParseMatrix(spec)
+	if err != nil {
+		t.Fatalf("ParseMatrix: %v", err)
+	}
+	if got := m.Spec(); got != spec {
+		t.Fatalf("Spec round trip = %q, want %q", got, spec)
+	}
+	m2, err := ParseMatrix(m.Spec())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if m2.Spec() != spec {
+		t.Fatalf("double round trip = %q", m2.Spec())
+	}
+}
+
+func TestParseMatrixSemantics(t *testing.T) {
+	m, err := ParseMatrix("bus3:drop@5..10;bus1:delay:200ms@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := m.FaultsFor(3, 5); !ok || f.Kind != faultinject.Drop {
+		t.Fatalf("FaultsFor(3,5) = %v, %v", f, ok)
+	}
+	if f, ok := m.FaultsFor(3, 10); !ok || f.Kind != faultinject.Drop {
+		t.Fatalf("FaultsFor(3,10) = %v, %v", f, ok)
+	}
+	if _, ok := m.FaultsFor(3, 11); ok {
+		t.Fatal("cycle 11 should be clean")
+	}
+	if _, ok := m.FaultsFor(3, 4); ok {
+		t.Fatal("cycle 4 should be clean for bus 3")
+	}
+	if f, ok := m.FaultsFor(1, 4); !ok || f.Kind != faultinject.Delay || f.Delay != 200*time.Millisecond {
+		t.Fatalf("FaultsFor(1,4) = %v, %v", f, ok)
+	}
+	if got := m.Buses(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Buses = %v", got)
+	}
+	if m.MaxCycle() != 10 {
+		t.Fatalf("MaxCycle = %d", m.MaxCycle())
+	}
+}
+
+func TestParseMatrixEmpty(t *testing.T) {
+	for _, s := range []string{"", "   ", ";;"} {
+		m, err := ParseMatrix(s)
+		if err != nil || m != nil {
+			t.Fatalf("ParseMatrix(%q) = %v, %v; want nil, nil", s, m, err)
+		}
+	}
+	var nilM *Matrix
+	if nilM.Spec() != "" || nilM.MaxCycle() != 0 || nilM.Buses() != nil {
+		t.Fatal("nil matrix accessors must be inert")
+	}
+	if _, ok := nilM.FaultsFor(1, 1); ok {
+		t.Fatal("nil matrix must schedule nothing")
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	bad := []string{
+		"3:drop@1",              // missing bus prefix
+		"busX:drop@1",           // non-numeric bus
+		"bus0:drop@1",           // bus < 1
+		"bus1:drop",             // no cycle span
+		"bus1:flood@1",          // unknown kind
+		"bus1:drop:200ms@1",     // duration on non-delay
+		"bus1:delay:banana@1",   // bad duration
+		"bus1:delay:-5ms@1",     // negative duration
+		"bus1:drop@0",           // cycle < 1
+		"bus1:drop@x",           // non-numeric cycle
+		"bus1:drop@5..3",        // inverted range
+		"bus1:drop@5..y",        // bad range end
+		"bus2:drop@1;bus1:drop", // error in later entry
+	}
+	for _, s := range bad {
+		if _, err := ParseMatrix(s); !errors.Is(err, ErrMatrix) {
+			t.Errorf("ParseMatrix(%q) err = %v, want ErrMatrix", s, err)
+		}
+	}
+}
+
+func TestRandomMatrixDeterministic(t *testing.T) {
+	a := RandomMatrix(7, 30, 100, 0.02, 5)
+	b := RandomMatrix(7, 30, 100, 0.02, 5)
+	if a == nil || b == nil {
+		t.Fatal("expected outages at rate 0.02 over 3000 slots")
+	}
+	if a.Spec() != b.Spec() {
+		t.Fatal("same seed must give identical matrices")
+	}
+	c := RandomMatrix(8, 30, 100, 0.02, 5)
+	if c != nil && c.Spec() == a.Spec() {
+		t.Fatal("different seeds should differ")
+	}
+	for _, o := range a.Outages {
+		if o.From < 1 || o.To > 100 || o.To < o.From {
+			t.Fatalf("outage out of range: %+v", o)
+		}
+		if o.Fault.Kind == faultinject.Delay || o.Fault.Kind == faultinject.Pass {
+			t.Fatalf("RandomMatrix drew non-killing kind %v", o.Fault.Kind)
+		}
+	}
+	if RandomMatrix(1, 10, 10, 0, 3) != nil {
+		t.Fatal("rate 0 must yield nil")
+	}
+	// The schedule must survive its own wire format.
+	rt, err := ParseMatrix(a.Spec())
+	if err != nil || rt.Spec() != a.Spec() {
+		t.Fatalf("random matrix round trip: %v", err)
+	}
+}

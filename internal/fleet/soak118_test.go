@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/opf"
+)
+
+// newSoak118Harness brings up a 118-RTU TCP fleet pinned at the attack-free
+// OPF optimum of the synth118 system.
+func newSoak118Harness(t *testing.T) Config {
+	t.Helper()
+	c, err := cases.ByName("synth118")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := opf.Solve(c.Grid, c.Grid.TrueTopology(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := sol.Dispatch
+	pf, err := c.Grid.SolvePowerFlow(c.Grid.TrueTopology(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := c.Plan.FromPowerFlow(c.Grid, pf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewTCPFleet(c.Grid, c.Plan, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.Close)
+	return Config{
+		CaseName:          "synth118",
+		Grid:              c.Grid,
+		Plan:              c.Plan,
+		Fleet:             fl,
+		OperatingDispatch: op,
+		ResidualThreshold: 1e-6,
+		Timeout:           2 * time.Second,
+	}
+}
+
+// TestSoak118Fleet is the acceptance soak: 1,000 supervision cycles over a
+// 118-bus real-TCP fleet with a random fleet-wide fault matrix. Every
+// tripped RTU must be re-admitted and the post-recovery dispatch must be
+// bit-identical to an unfaulted run of the same length. Runs 50 cycles
+// under -short (the CI fast lane); the nightly workflow runs the full
+// 1,000.
+func TestSoak118Fleet(t *testing.T) {
+	cycles, faultUntil := 1000, 900
+	if testing.Short() {
+		cycles, faultUntil = 50, 35
+	}
+
+	cfgA := newSoak118Harness(t)
+	supA, repA := runSoak(t, cfgA, cycles)
+	defer supA.Close()
+	if repA.Counts[OutcomeClean] != cycles {
+		t.Fatalf("unfaulted run not all clean: %v", repA.Counts)
+	}
+
+	cfgB := newSoak118Harness(t)
+	// Faults stop early enough that every quarantine window closes and
+	// probation completes before the run ends.
+	cfgB.Matrix = RandomMatrix(118, 118, faultUntil, 0.002, 5)
+	if cfgB.Matrix == nil {
+		t.Fatal("random matrix came up empty")
+	}
+	cfgB.JournalPath = filepath.Join(t.TempDir(), "soak118.journal")
+	supB, repB := runSoak(t, cfgB, cycles)
+
+	if len(repB.Outcomes) != cycles {
+		t.Fatalf("completed %d cycles, want %d", len(repB.Outcomes), cycles)
+	}
+	if n := repB.Counts[OutcomeWatchdog] + repB.Counts[OutcomeBadData]; n != 0 {
+		t.Fatalf("unexpected watchdog/baddata cycles: %v", repB.Counts)
+	}
+	for _, st := range supB.Health().Snapshot() {
+		if st.State != Healthy {
+			t.Errorf("bus %d ended %v after %d trips, want healthy (re-admitted)", st.Bus, st.State, st.Trips)
+		}
+		if st.Trips > 0 && st.Recoveries == 0 {
+			t.Errorf("bus %d tripped %d times but never recovered", st.Bus, st.Trips)
+		}
+	}
+	if repB.Recovered() == 0 {
+		t.Error("no RTU ever tripped and recovered; fault matrix too weak for the soak to mean anything")
+	}
+	if supB.Mode() != ModeNormal {
+		t.Errorf("final mode = %v, want normal", supB.Mode())
+	}
+
+	assertFloatsEqual(t, "post-recovery dispatch", supB.Dispatch(), supA.Dispatch())
+	assertFloatsEqual(t, "post-recovery setpoint", supB.Setpoint(), supA.Setpoint())
+
+	if err := supB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, recs, err := OpenJournal(cfgB.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := FoldRecords(recs)
+	if len(st.Outcomes) != cycles {
+		t.Fatalf("journal folds to %d outcomes, want %d", len(st.Outcomes), cycles)
+	}
+	if !reflect.DeepEqual(st.Outcomes, repB.Outcomes) {
+		t.Fatal("journaled outcomes diverge from the live report")
+	}
+	t.Logf("soak: %d cycles, outcomes %v, %d attempts, %d recoveries, p99 %v",
+		cycles, repB.Counts, repB.Attempts, repB.Recovered(), repB.LatencyP99)
+}

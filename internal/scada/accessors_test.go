@@ -1,0 +1,164 @@
+package scada
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/measure"
+)
+
+func TestBreakerStateString(t *testing.T) {
+	for _, tc := range []struct {
+		state breakerState
+		want  string
+	}{
+		{BreakerClosed, "closed"},
+		{BreakerOpen, "open"},
+		{BreakerHalfOpen, "half-open"},
+		{breakerState(42), "unknown"},
+	} {
+		if got := tc.state.String(); got != tc.want {
+			t.Errorf("breakerState(%d).String() = %q, want %q", tc.state, got, tc.want)
+		}
+	}
+}
+
+// TestCircuitBreakerSnapshotRestore: a breaker restored from a snapshot
+// carries the same verdicts — state, trip count, and rejection window — as
+// the original, so a crash-resumed loop does not re-admit a dead RTU early.
+func TestCircuitBreakerSnapshotRestore(t *testing.T) {
+	now := time.Unix(2000, 0)
+	clock := func() time.Time { return now }
+	cb := &CircuitBreaker{Threshold: 2, OpenFor: 5 * time.Second}
+	cb.SetClock(clock)
+
+	cb.Failure()
+	cb.Failure()
+	if cb.State() != BreakerOpen || cb.Trips() != 1 {
+		t.Fatalf("after threshold: state %v trips %d, want open/1", cb.State(), cb.Trips())
+	}
+
+	failures, trips, openUntil := cb.Snapshot()
+	if trips != 1 || openUntil.IsZero() {
+		t.Fatalf("Snapshot = (%d, %d, %v), want trips 1 and a nonzero window end", failures, trips, openUntil)
+	}
+
+	resumed := &CircuitBreaker{Threshold: 2, OpenFor: 5 * time.Second}
+	resumed.SetClock(clock)
+	resumed.Restore(failures, trips, openUntil)
+	if resumed.State() != BreakerOpen || resumed.Allow() || resumed.Trips() != 1 {
+		t.Fatalf("restored breaker: state %v allow %v trips %d, want open/false/1",
+			resumed.State(), resumed.Allow(), resumed.Trips())
+	}
+
+	// Both clocks advance past the window: half-open; a failed probe on the
+	// restored breaker counts a second trip.
+	now = now.Add(6 * time.Second)
+	if resumed.State() != BreakerHalfOpen {
+		t.Fatalf("after window: state %v, want half-open", resumed.State())
+	}
+	if !resumed.Allow() {
+		t.Fatal("half-open restored breaker must admit a probe")
+	}
+	resumed.Failure()
+	if resumed.Trips() != 2 {
+		t.Fatalf("failed probe: trips %d, want 2", resumed.Trips())
+	}
+}
+
+// TestCenterAccessors covers the checkpoint/harness surface of Center:
+// registration order, lazily created breakers on the configured clock, and
+// the last-good / last-status round trips used by crash resume.
+func TestCenterAccessors(t *testing.T) {
+	g := cases.Paper5Bus()
+	plan := cases.Paper5PlanCase1()
+	c := NewCenter(g, plan)
+
+	c.Register(5, "addr5")
+	c.Register(2, "addr2")
+	c.Register(3, "addr3")
+	if got := c.Registered(); !reflect.DeepEqual(got, []int{2, 3, 5}) {
+		t.Fatalf("Registered() = %v, want [2 3 5]", got)
+	}
+
+	// Breakers are created once per bus and inherit the center's clock.
+	now := time.Unix(3000, 0)
+	c.BreakerThreshold = 1
+	c.BreakerOpenFor = 4 * time.Second
+	c.BreakerClock = func() time.Time { return now }
+	cb := c.Breaker(2)
+	if c.Breaker(2) != cb {
+		t.Fatal("Breaker(2) must return the same breaker on every call")
+	}
+	cb.Failure()
+	if cb.State() != BreakerOpen {
+		t.Fatalf("threshold-1 breaker after one failure: %v, want open", cb.State())
+	}
+	now = now.Add(5 * time.Second)
+	if cb.State() != BreakerHalfOpen {
+		t.Fatalf("breaker ignores the center's clock: %v, want half-open", cb.State())
+	}
+
+	// Last-known statuses seed from the grid's as-designed states and the
+	// returned map is a copy.
+	statuses := c.LastStatuses()
+	for _, ln := range g.Lines {
+		if statuses[ln.ID] != ln.InService {
+			t.Fatalf("line %d initial status %v, want as-designed %v", ln.ID, statuses[ln.ID], ln.InService)
+		}
+	}
+	statuses[1] = !statuses[1]
+	if c.LastStatuses()[1] == statuses[1] {
+		t.Fatal("LastStatuses must return a copy")
+	}
+	c.RestoreStatuses(map[int]bool{1: false})
+	if c.LastStatuses()[1] {
+		t.Fatal("RestoreStatuses(1:false) not reflected")
+	}
+
+	// Last-good measurement round trip; both directions clone.
+	z := measure.NewVector(plan.M())
+	z.Values[1], z.Present[1] = 0.5, true
+	c.RestoreLastGood(z)
+	z.Values[1] = 99 // caller's vector must not alias the cache
+	got := c.LastGood()
+	if !got.Present[1] || got.Values[1] != 0.5 {
+		t.Fatalf("LastGood()[1] = (%v, %v), want (0.5, true)", got.Values[1], got.Present[1])
+	}
+	got.Values[1] = 77
+	if c.LastGood().Values[1] != 0.5 {
+		t.Fatal("LastGood must return a copy")
+	}
+
+	// Invalidate and Close drop cached persistent connections and close
+	// them; the center stays usable.
+	p2a, p2b := net.Pipe()
+	p3a, p3b := net.Pipe()
+	defer p2b.Close()
+	defer p3b.Close()
+	c.conns[2] = p2a
+	c.conns[3] = p3a
+	c.Invalidate(2)
+	c.Invalidate(99) // unknown bus: no-op
+	if _, ok := c.conns[2]; ok {
+		t.Fatal("Invalidate(2) left the cached connection in place")
+	}
+	if _, err := p2a.Write([]byte{0}); err == nil {
+		t.Fatal("Invalidate must close the dropped connection")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(c.conns) != 0 {
+		t.Fatalf("Close left %d cached connections", len(c.conns))
+	}
+	if _, err := p3a.Write([]byte{0}); err == nil {
+		t.Fatal("Close must close every cached connection")
+	}
+	if got := c.Registered(); len(got) != 3 {
+		t.Fatalf("center unusable after Close: Registered() = %v", got)
+	}
+}

@@ -39,9 +39,20 @@ type Center struct {
 	// CircuitBreaker defaults). Breakers are created lazily per bus.
 	BreakerThreshold int
 	BreakerOpenFor   time.Duration
+	// BreakerClock, when non-nil, is installed as the clock of every lazily
+	// created breaker (see CircuitBreaker.SetClock). A continuous loop sets
+	// it to a logical cycle clock so quarantine windows are deterministic.
+	BreakerClock func() time.Time
+	// Persistent keeps one TCP connection per RTU open across polls instead
+	// of dialing per round. At fleet scale this is what makes a long soak
+	// viable: per-cycle dials would exhaust the ephemeral port range with
+	// TIME_WAIT sockets within seconds. Any poll error closes and drops the
+	// cached connection, so the next attempt re-dials fresh.
+	Persistent bool
 
 	addrs    map[int]string // bus -> RTU address
 	breakers map[int]*CircuitBreaker
+	conns    map[int]net.Conn // bus -> cached persistent connection
 
 	lastZ      *measure.Vector // last good value per measurement, cumulative
 	lastStatus map[int]bool    // line -> last known breaker status
@@ -56,6 +67,7 @@ func NewCenter(g *grid.Grid, plan *measure.Plan) *Center {
 		plan:       plan,
 		addrs:      make(map[int]string),
 		breakers:   make(map[int]*CircuitBreaker),
+		conns:      make(map[int]net.Conn),
 		lastZ:      measure.NewVector(plan.M()),
 		lastStatus: make(map[int]bool, g.NumLines()),
 	}
@@ -70,6 +82,57 @@ func (c *Center) Register(bus int, addr string) {
 	c.addrs[bus] = addr
 }
 
+// Registered returns the buses with a registered RTU, in ascending order.
+func (c *Center) Registered() []int {
+	out := make([]int, 0, len(c.addrs))
+	for bus := range c.addrs {
+		out = append(out, bus)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Invalidate closes and forgets the cached persistent connection to a bus's
+// RTU, forcing the next poll to dial fresh. A fault-injecting harness calls
+// this before a scheduled fault so the fault applies to a new connection.
+func (c *Center) Invalidate(bus int) {
+	if conn, ok := c.conns[bus]; ok {
+		conn.Close()
+		delete(c.conns, bus)
+	}
+}
+
+// Close releases every cached persistent connection. The center remains
+// usable; subsequent polls re-dial.
+func (c *Center) Close() error {
+	for bus, conn := range c.conns {
+		conn.Close()
+		delete(c.conns, bus)
+	}
+	return nil
+}
+
+// RestoreLastGood replaces the last-good measurement cache, for a collection
+// loop resuming from a checkpoint.
+func (c *Center) RestoreLastGood(z *measure.Vector) { c.lastZ = z.Clone() }
+
+// LastStatuses returns a copy of the last known breaker status per line.
+func (c *Center) LastStatuses() map[int]bool {
+	out := make(map[int]bool, len(c.lastStatus))
+	for k, v := range c.lastStatus {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreStatuses replaces the last-known breaker status cache, for a
+// collection loop resuming from a checkpoint.
+func (c *Center) RestoreStatuses(statuses map[int]bool) {
+	for k, v := range statuses {
+		c.lastStatus[k] = v
+	}
+}
+
 // LastGood returns a copy of the most recent good value observed for every
 // measurement across all collection rounds — the pseudo-measurement source
 // for degraded-mode state estimation.
@@ -81,6 +144,9 @@ func (c *Center) Breaker(bus int) *CircuitBreaker {
 	cb, ok := c.breakers[bus]
 	if !ok {
 		cb = &CircuitBreaker{Threshold: c.BreakerThreshold, OpenFor: c.BreakerOpenFor}
+		if c.BreakerClock != nil {
+			cb.SetClock(c.BreakerClock)
+		}
 		c.breakers[bus] = cb
 	}
 	return cb
@@ -251,7 +317,7 @@ func (c *Center) pollCounted(addr string, bus int) (*Telemetry, int, error) {
 			time.Sleep(bo.Delay(try - 1))
 		}
 		attempts++
-		t, err := c.pollOne(addr, timeout)
+		t, err := c.poll(bus, addr, timeout)
 		if err == nil {
 			if verr := c.validate(t, bus, addr); verr != nil {
 				lastErr = verr
@@ -264,12 +330,41 @@ func (c *Center) pollCounted(addr string, bus int) (*Telemetry, int, error) {
 	return nil, attempts, lastErr
 }
 
+// poll runs one request/response round trip, either over a fresh dial or —
+// with Persistent set — over the bus's cached connection (dialing only when
+// none is cached, dropping the cache on any error).
+func (c *Center) poll(bus int, addr string, timeout time.Duration) (*Telemetry, error) {
+	if !c.Persistent {
+		return c.pollOne(addr, timeout)
+	}
+	conn, ok := c.conns[bus]
+	if !ok {
+		var err error
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.conns[bus] = conn
+	}
+	t, err := c.pollConn(conn, timeout)
+	if err != nil {
+		conn.Close()
+		delete(c.conns, bus)
+		return nil, err
+	}
+	return t, nil
+}
+
 func (c *Center) pollOne(addr string, timeout time.Duration) (*Telemetry, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	return c.pollConn(conn, timeout)
+}
+
+func (c *Center) pollConn(conn net.Conn, timeout time.Duration) (*Telemetry, error) {
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}

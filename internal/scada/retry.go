@@ -104,8 +104,46 @@ type CircuitBreaker struct {
 
 	mu        sync.Mutex
 	failures  int
+	trips     int
 	openUntil time.Time
 	probing   bool
+}
+
+// SetClock overrides the breaker's clock. A continuous-operation loop uses
+// this to drive quarantine windows in logical cycle ticks instead of wall
+// time, making open/half-open transitions deterministic per cycle.
+func (cb *CircuitBreaker) SetClock(now func() time.Time) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	cb.now = now
+}
+
+// Trips returns how many times the breaker has transitioned into the open
+// state (initial trips plus failed half-open probes).
+func (cb *CircuitBreaker) Trips() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.trips
+}
+
+// Snapshot returns the breaker's mutable state for checkpointing: the
+// consecutive-failure count, the trip counter, and the end of the current
+// rejection window (zero when not open).
+func (cb *CircuitBreaker) Snapshot() (failures, trips int, openUntil time.Time) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.failures, cb.trips, cb.openUntil
+}
+
+// Restore reinstates state captured by Snapshot, so a crash-resumed
+// collection loop carries on with the same breaker verdicts.
+func (cb *CircuitBreaker) Restore(failures, trips int, openUntil time.Time) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	cb.failures = failures
+	cb.trips = trips
+	cb.openUntil = openUntil
+	cb.probing = false
 }
 
 func (cb *CircuitBreaker) clock() time.Time {
@@ -159,8 +197,12 @@ func (cb *CircuitBreaker) Failure() {
 	cb.mu.Lock()
 	defer cb.mu.Unlock()
 	cb.failures++
+	wasProbe := cb.probing
 	cb.probing = false
 	if cb.failures >= cb.threshold() {
+		if cb.failures == cb.threshold() || wasProbe {
+			cb.trips++
+		}
 		cb.openUntil = cb.clock().Add(cb.openFor())
 	}
 }
