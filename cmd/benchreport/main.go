@@ -11,6 +11,7 @@
 //	benchreport -all               # everything (minutes on large systems)
 //	benchreport -fig 4b -cases paper5,ieee14,synth30
 //	benchreport -fig par           # parallel scaling (speedup vs. workers)
+//	benchreport -fig serve         # service throughput under the loadgen mix
 package main
 
 import (
@@ -35,11 +36,12 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr, or soak")
+		fig          = fs.String("fig", "", "artifact: 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr, soak, or serve")
 		all          = fs.Bool("all", false, "run every artifact")
 		caseList     = fs.String("cases", "", "comma-separated case subset (default: all five systems)")
 		maxConflicts = fs.Int64("max-conflicts", 2_000_000, "SMT conflict budget per query (0 = unlimited)")
 		soakCycles   = fs.Int("soak-cycles", 1000, "supervised cycles per fault rate for the soak artifact")
+		serveQueries = fs.Int("serve-queries", 1000, "loadgen queries against the in-process service for the serve artifact")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,20 +52,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	artifacts := []string{*fig}
 	if *all {
-		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith", "sparse", "expr", "soak"}
+		artifacts = []string{"4a", "4b", "4c", "5a", "5b", "5c", "t4", "par", "cert", "arith", "sparse", "expr", "soak", "serve"}
 	}
 	for _, a := range artifacts {
 		if a == "" {
 			return fmt.Errorf("pass -fig or -all")
 		}
-		if err := runOne(stdout, a, names, *maxConflicts, *soakCycles); err != nil {
+		if err := runOne(stdout, a, names, *maxConflicts, *soakCycles, *serveQueries); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(w io.Writer, artifact string, names []string, maxConflicts int64, soakCycles int) error {
+func runOne(w io.Writer, artifact string, names []string, maxConflicts int64, soakCycles, serveQueries int) error {
 	switch artifact {
 	case "4a", "4b", "4c":
 		cfg := experiments.SweepConfig{
@@ -372,8 +374,48 @@ func runOne(w io.Writer, artifact string, names []string, maxConflicts int64, so
 		tw.Flush()
 		fmt.Fprintln(w)
 
+	case "serve":
+		// The table behind BENCH_serve.json: an in-process gridattackd
+		// (durable journal directory, real HTTP over loopback) replaying the
+		// seeded mixed loadgen workload — hot-cache repeats, incremental
+		// threshold ladders, cold unique problems — and reporting
+		// throughput, latency percentiles, and cache effectiveness overall
+		// and per workload class.
+		dir, err := os.MkdirTemp("", "benchserve")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		res, err := experiments.RunServe(experiments.ServeConfig{
+			Queries:    serveQueries,
+			Seed:       1,
+			Cases:      names,
+			JournalDir: dir,
+		})
+		if err != nil {
+			return err
+		}
+		rep := res.Report
+		fmt.Fprintf(w, "Service throughput: seeded mixed workload vs. durable gridattackd (%d workers, %d queries)\n",
+			res.Workers, rep.Queries)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "class\tqueries\tcompleted\tcache-hits\tp50\tp90\tp99")
+		for _, cs := range rep.Classes {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%v\t%v\t%v\n",
+				cs.Class, cs.Queries, cs.Completed, cs.CacheHits,
+				cs.P50.Round(1e4), cs.P90.Round(1e4), cs.P99.Round(1e4))
+		}
+		fmt.Fprintf(tw, "all\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			rep.Queries, rep.Completed, rep.CacheHits,
+			rep.P50.Round(1e4), rep.P90.Round(1e4), rep.P99.Round(1e4))
+		tw.Flush()
+		fmt.Fprintf(w, "wall %v  %.1f queries/s  cache %d/%d (%.1f%% of completed, server: %d hits %d misses)\n",
+			rep.Wall.Round(1e6), rep.QPS, rep.CacheHits, rep.Completed, 100*rep.CacheRate,
+			res.Cache.Hits, res.Cache.Misses)
+		fmt.Fprintln(w)
+
 	default:
-		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr, soak)", artifact)
+		return fmt.Errorf("unknown artifact %q (want 4a, 4b, 4c, 5a, 5b, 5c, t4, par, cert, arith, sparse, expr, soak, serve)", artifact)
 	}
 	return nil
 }

@@ -59,6 +59,19 @@ func TestReportSoak(t *testing.T) {
 	}
 }
 
+func TestReportServe(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "serve", "-cases", "paper5", "-serve-queries", "60"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"Service throughput", "hot", "ladder", "cold", "queries/s", "cache"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestReportErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

@@ -1,0 +1,108 @@
+// Command loadgen replays a seeded mixed workload against a running
+// gridattackd and reports throughput, latency percentiles, and cache
+// effectiveness. The workload mixes three classes: hot-cache repeats (the
+// same problem resubmitted, a cache hit after first touch), incremental
+// threshold-ladder queries, and cold unique single-target queries. The mix
+// is deterministic in the seed, so two runs replay byte-identical workloads
+// and their numbers are comparable.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-n 1000] [-concurrency 8] [-seed 1]
+//	        [-hot 0.5] [-ladder 0.2] [-cases paper5,ieee14]
+//	        [-tenants tenant-a,tenant-b,tenant-c] [-json report.json]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gridattack/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		url         = fs.String("url", "", "base URL of the gridattackd service (required)")
+		n           = fs.Int("n", 1000, "total queries to issue")
+		concurrency = fs.Int("concurrency", 8, "parallel client goroutines")
+		seed        = fs.Int64("seed", 1, "workload seed (same seed = byte-identical workload)")
+		hot         = fs.Float64("hot", 0.5, "fraction of hot-cache repeat queries")
+		ladder      = fs.Float64("ladder", 0.2, "fraction of multi-target ladder queries")
+		caseList    = fs.String("cases", "paper5,ieee14", "comma-separated registry systems to draw problems from")
+		tenantList  = fs.String("tenants", "tenant-a,tenant-b,tenant-c", "comma-separated tenant names cycled across queries")
+		poll        = fs.Duration("poll", 2*time.Millisecond, "result poll interval for accepted jobs")
+		jsonPath    = fs.String("json", "", "also write the full report as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("-url is required")
+	}
+
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:        strings.TrimRight(*url, "/"),
+		Queries:        *n,
+		Concurrency:    *concurrency,
+		Seed:           *seed,
+		HotFraction:    *hot,
+		LadderFraction: *ladder,
+		Cases:          splitList(*caseList),
+		Tenants:        splitList(*tenantList),
+		PollInterval:   *poll,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "queries   %d (completed %d, rate-limited %d, failed %d)\n",
+		rep.Queries, rep.Completed, rep.RateLimited, rep.Failed)
+	fmt.Fprintf(stdout, "wall      %v  (%.1f queries/s)\n", rep.Wall.Round(time.Millisecond), rep.QPS)
+	fmt.Fprintf(stdout, "cache     %d hits (%.1f%% of completed)\n", rep.CacheHits, 100*rep.CacheRate)
+	fmt.Fprintf(stdout, "latency   p50 %v  p90 %v  p99 %v\n",
+		rep.P50.Round(time.Microsecond), rep.P90.Round(time.Microsecond), rep.P99.Round(time.Microsecond))
+	for _, cs := range rep.Classes {
+		fmt.Fprintf(stdout, "  %-7s %4d queries  %4d hits  p50 %v  p99 %v\n",
+			cs.Class, cs.Queries, cs.CacheHits,
+			cs.P50.Round(time.Microsecond), cs.P99.Round(time.Microsecond))
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d queries failed", rep.Failed)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridattack/internal/serve"
+)
+
+// TestLoadgenAgainstInProcessServer drives the CLI end to end against an
+// in-process service and checks both the human summary and the JSON report.
+func TestLoadgenAgainstInProcessServer(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 4, JournalDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-url", ts.URL,
+		"-n", "60",
+		"-concurrency", "4",
+		"-seed", "3",
+		"-cases", "paper5",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"queries   60", "cache", "latency", "hot", "report written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 60 || rep.Completed != 60 || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("hot-heavy workload produced no cache hits")
+	}
+}
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -url accepted")
+	}
+	if err := run([]string{"-url", "http://x", "-hot", "0.9", "-ladder", "0.9"}, &out); err == nil {
+		t.Error("invalid workload fractions accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

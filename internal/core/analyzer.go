@@ -134,6 +134,14 @@ type Analyzer struct {
 	// at the first incomplete iteration, producing verdicts identical to an
 	// uninterrupted run. Empty disables checkpointing.
 	CheckpointPath string
+
+	// JournalObserver, when set together with CheckpointPath, receives every
+	// journal record in order: records replayed from an existing journal on
+	// resume first (including a finalized journal's, before the reconstructed
+	// report returns), then each new record as it is durably appended. The
+	// serve layer turns this stream into per-job progress events. The
+	// callback runs on the analysis goroutine and must not block for long.
+	JournalObserver func(JournalRecord)
 }
 
 // statsAcc accumulates solver effort counters across one Run: the attack
@@ -273,6 +281,14 @@ func (a *Analyzer) Run() (*Report, error) {
 		jr, recs, done, err = a.openCheckpoint(cfg, rep)
 		if err != nil {
 			return nil, err
+		}
+		if a.JournalObserver != nil {
+			for _, rec := range recs {
+				a.JournalObserver(rec)
+			}
+			if jr != nil {
+				jr.SetObserver(a.JournalObserver)
+			}
 		}
 		if jr != nil {
 			defer jr.Close()
@@ -437,7 +453,9 @@ func (a *Analyzer) openCheckpoint(cfg JournalConfig, rep *Report) (*Journal, []J
 		rep.Vector = fin.Vector
 		rep.AttackedCost = fin.AttackedCost
 		j.Close()
-		return nil, nil, true, nil
+		// The records are still returned so a JournalObserver can replay the
+		// finalized run's history.
+		return nil, recs, true, nil
 	}
 	return j, recs, false, nil
 }

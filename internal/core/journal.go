@@ -30,11 +30,17 @@ const journalVersion = 1
 // ErrJournal reports a corrupt, mismatched, or unreadable checkpoint journal.
 var ErrJournal = errors.New("core: invalid checkpoint journal")
 
-// Journal record kinds.
+// Journal record kinds. The exported names let journal consumers (the serve
+// layer streams records as server-sent events) switch on JournalRecord.Kind
+// without duplicating the strings.
 const (
-	recHeader = "header"
-	recIter   = "iter"
-	recFinal  = "final"
+	RecHeader = "header"
+	RecIter   = "iter"
+	RecFinal  = "final"
+
+	recHeader = RecHeader
+	recIter   = RecIter
+	recFinal  = RecFinal
 )
 
 // JournalConfig fingerprints the analysis a journal belongs to. Resuming
@@ -101,10 +107,16 @@ func recordHash(rec *JournalRecord) (string, error) {
 
 // Journal is an open checkpoint journal positioned for appending.
 type Journal struct {
-	f    *os.File
-	path string
-	prev string
+	f        *os.File
+	path     string
+	prev     string
+	observer func(JournalRecord)
 }
+
+// SetObserver registers a callback invoked with every record after it has
+// been durably appended (written and fsync'd). The callback runs on the
+// appending goroutine, so it must not block for long; nil clears it.
+func (j *Journal) SetObserver(fn func(JournalRecord)) { j.observer = fn }
 
 // CreateJournal starts a fresh journal at path (truncating any previous
 // content) and writes the fsync'd header record.
@@ -209,6 +221,9 @@ func (j *Journal) append(rec *JournalRecord) error {
 		return fmt.Errorf("core: checkpoint sync: %w", err)
 	}
 	j.prev = rec.Hash
+	if j.observer != nil {
+		j.observer(*rec)
+	}
 	return nil
 }
 

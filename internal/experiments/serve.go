@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"net/http/httptest"
+
+	"gridattack/internal/serve"
+)
+
+// ServeConfig parameterizes the analysis-as-a-service throughput experiment
+// behind BENCH_serve.json: an in-process gridattackd (real HTTP over a
+// loopback listener) under the seeded mixed loadgen workload.
+type ServeConfig struct {
+	// Queries is the workload size (0 = 1000, the artifact's scale).
+	Queries int
+	// Concurrency is the client-side parallelism (0 = 8).
+	Concurrency int
+	// Workers is the service's queue shard count (0 = GOMAXPROCS).
+	Workers int
+	// Seed fixes the workload (the artifact uses 1).
+	Seed int64
+	// Cases names the systems to draw problems from (empty = paper5+ieee14).
+	Cases []string
+	// JournalDir, when non-empty, runs the service durably (journals and
+	// result files on disk) — the artifact measures the durable
+	// configuration, since that is how the daemon deploys.
+	JournalDir string
+}
+
+// ServeResult is one serve-throughput measurement: the client-side load
+// report plus the server-side cache and job counters it produced.
+type ServeResult struct {
+	Workers int                 `json:"workers"`
+	Report  *serve.LoadReport   `json:"report"`
+	Cache   serve.CacheStats    `json:"cache"`
+	Stats   serve.StatsSnapshot `json:"stats"`
+}
+
+// RunServe stands up the service, replays the workload, and returns the
+// combined measurement.
+func RunServe(cfg ServeConfig) (*ServeResult, error) {
+	s, err := serve.New(serve.Config{
+		Workers:    cfg.Workers,
+		JournalDir: cfg.JournalDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     ts.URL,
+		Queries:     cfg.Queries,
+		Concurrency: cfg.Concurrency,
+		Seed:        cfg.Seed,
+		Cases:       cfg.Cases,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := s.Stats()
+	return &ServeResult{
+		Workers: stats.Workers,
+		Report:  rep,
+		Cache:   stats.Cache,
+		Stats:   stats,
+	}, nil
+}

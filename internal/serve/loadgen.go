@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridattack/internal/cases"
+	"gridattack/internal/core"
+	"gridattack/internal/textio"
+)
+
+// LoadConfig parameterizes a seeded replay of a mixed tenant workload
+// against a running service: hot-cache repeats, incremental-ladder queries,
+// and cold unique queries, interleaved deterministically.
+type LoadConfig struct {
+	// BaseURL of the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client performs the HTTP requests (nil = http.DefaultClient).
+	Client *http.Client
+	// Queries is the total number of queries to issue (0 = 1000).
+	Queries int
+	// Concurrency is the number of parallel client goroutines (0 = 8).
+	Concurrency int
+	// Seed makes the generated workload reproducible.
+	Seed int64
+	// Tenants are cycled across queries (empty = three default tenants).
+	Tenants []string
+	// HotFraction of queries repeat a small fixed set (cache hits after
+	// first touch); LadderFraction issue multi-target ladders; the rest are
+	// cold unique single-target queries. Defaults 0.5 / 0.2.
+	HotFraction    float64
+	LadderFraction float64
+	// Cases names the registry systems to draw problems from
+	// (empty = paper5 + ieee14).
+	Cases []string
+	// PollInterval paces result polling for accepted jobs (0 = 2ms).
+	PollInterval time.Duration
+}
+
+// ClassStats aggregates outcomes for one workload class.
+type ClassStats struct {
+	Class       string        `json:"class"`
+	Queries     int           `json:"queries"`
+	Completed   int           `json:"completed"`
+	CacheHits   int           `json:"cache_hits"`
+	P50         time.Duration `json:"p50_ns"`
+	P90         time.Duration `json:"p90_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	latenciesNS []int64
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Queries     int           `json:"queries"`
+	Completed   int           `json:"completed"`
+	CacheHits   int           `json:"cache_hits"`
+	RateLimited int           `json:"rate_limited"`
+	Failed      int           `json:"failed"`
+	Wall        time.Duration `json:"wall_ns"`
+	QPS         float64       `json:"qps"`
+	P50         time.Duration `json:"p50_ns"`
+	P90         time.Duration `json:"p90_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	CacheRate   float64       `json:"cache_hit_rate"`
+	Classes     []*ClassStats `json:"classes"`
+}
+
+type loadQuery struct {
+	class  string
+	tenant string
+	body   []byte
+}
+
+// buildWorkload renders the seeded query mix. Every body is deterministic in
+// (Seed, Queries, Cases, fractions), so two runs replay byte-identical
+// workloads — and hot repeats genuinely repeat, byte for byte.
+func buildWorkload(cfg LoadConfig) ([]loadQuery, error) {
+	caseNames := cfg.Cases
+	if len(caseNames) == 0 {
+		caseNames = []string{"paper5", "ieee14"}
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = []string{"tenant-a", "tenant-b", "tenant-c"}
+	}
+	hot := cfg.HotFraction
+	if hot == 0 {
+		hot = 0.5
+	}
+	ladder := cfg.LadderFraction
+	if ladder == 0 {
+		ladder = 0.2
+	}
+	if hot < 0 || ladder < 0 || hot+ladder > 1 {
+		return nil, fmt.Errorf("serve: workload fractions hot=%v ladder=%v invalid", hot, ladder)
+	}
+
+	inputs := make([]string, len(caseNames))
+	for i, name := range caseNames {
+		c, err := cases.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		sc := core.NewScenario(c, core.ScenarioConfig{Seed: cfg.Seed + int64(i)})
+		var buf bytes.Buffer
+		in := &textio.Input{
+			Grid: sc.Case.Grid, Plan: sc.Plan, Capability: sc.Capability,
+			MinIncreasePercent: 3,
+		}
+		if err := textio.Write(&buf, in); err != nil {
+			return nil, err
+		}
+		inputs[i] = buf.String()
+	}
+
+	marshal := func(req JobRequest) ([]byte, error) { return json.Marshal(req) }
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ladderSets := [][]float64{
+		{1, 2, 3, 5, 8},
+		{1, 3, 5},
+		{2, 4, 6, 10},
+		{0.5, 1.5, 2.5},
+	}
+	n := cfg.Queries
+	if n <= 0 {
+		n = 1000
+	}
+	queries := make([]loadQuery, 0, n)
+	for i := 0; i < n; i++ {
+		caseIdx := rng.Intn(len(inputs))
+		req := JobRequest{Input: inputs[caseIdx]}
+		var class string
+		switch p := rng.Float64(); {
+		case p < hot:
+			class = "hot"
+			req.Targets = []float64{3}
+		case p < hot+ladder:
+			class = "ladder"
+			req.Targets = ladderSets[rng.Intn(len(ladderSets))]
+		default:
+			class = "cold"
+			// Unique-ish quantized targets: overlapping requests across
+			// tenants still coalesce, the rest genuinely solve.
+			req.Targets = []float64{0.25 * float64(1+rng.Intn(400))}
+		}
+		body, err := marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		queries = append(queries, loadQuery{class: class, tenant: tenants[i%len(tenants)], body: body})
+	}
+	return queries, nil
+}
+
+// RunLoad replays the workload and aggregates throughput, latency
+// percentiles, and cache effectiveness. Latency is submit-to-verdict: the
+// full POST plus polling until the job completes.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("serve: load config needs a BaseURL")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = 8
+	}
+	queries, err := buildWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		class     string
+		completed bool
+		cached    bool
+		limited   bool
+		latency   time.Duration
+	}
+	results := make([]outcome, len(queries))
+	var idx int
+	var idxMu sync.Mutex
+	nextQuery := func() int {
+		idxMu.Lock()
+		defer idxMu.Unlock()
+		if idx >= len(queries) {
+			return -1
+		}
+		idx++
+		return idx - 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := nextQuery()
+				if i < 0 {
+					return
+				}
+				q := queries[i]
+				t0 := time.Now()
+				out := outcome{class: q.class}
+				func() {
+					req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+"/v1/jobs", bytes.NewReader(q.body))
+					if err != nil {
+						return
+					}
+					req.Header.Set("X-Tenant", q.tenant)
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := client.Do(req)
+					if err != nil {
+						return
+					}
+					var sub submitResponse
+					err = json.NewDecoder(resp.Body).Decode(&sub)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusTooManyRequests:
+						out.limited = true
+						return
+					case resp.StatusCode == http.StatusOK && err == nil:
+						out.completed, out.cached = true, sub.Cached
+						return
+					case resp.StatusCode != http.StatusAccepted || err != nil:
+						return
+					}
+					for {
+						st, ok := pollResult(client, cfg.BaseURL, sub.JobID)
+						if ok {
+							out.completed = st.State == JobDone
+							out.cached = st.Cached
+							return
+						}
+						time.Sleep(poll)
+					}
+				}()
+				out.latency = time.Since(t0)
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &LoadReport{Queries: len(queries), Wall: wall}
+	classes := map[string]*ClassStats{}
+	var allNS []int64
+	for _, out := range results {
+		cs := classes[out.class]
+		if cs == nil {
+			cs = &ClassStats{Class: out.class}
+			classes[out.class] = cs
+		}
+		cs.Queries++
+		switch {
+		case out.limited:
+			rep.RateLimited++
+		case out.completed:
+			rep.Completed++
+			cs.Completed++
+			if out.cached {
+				rep.CacheHits++
+				cs.CacheHits++
+			}
+			cs.latenciesNS = append(cs.latenciesNS, out.latency.Nanoseconds())
+			allNS = append(allNS, out.latency.Nanoseconds())
+		default:
+			rep.Failed++
+		}
+	}
+	rep.P50, rep.P90, rep.P99 = percentiles(allNS)
+	if rep.Completed > 0 {
+		rep.CacheRate = float64(rep.CacheHits) / float64(rep.Completed)
+	}
+	if wall > 0 {
+		rep.QPS = float64(rep.Completed) / wall.Seconds()
+	}
+	for _, name := range []string{"hot", "ladder", "cold"} {
+		if cs, ok := classes[name]; ok {
+			cs.P50, cs.P90, cs.P99 = percentiles(cs.latenciesNS)
+			rep.Classes = append(rep.Classes, cs)
+		}
+	}
+	return rep, nil
+}
+
+// pollResult fetches a job's result endpoint; ok reports a terminal state.
+func pollResult(client *http.Client, base, id string) (JobStatus, bool) {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return JobStatus{}, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		return JobStatus{}, false
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, false
+	}
+	return st, st.State == JobDone || st.State == JobFailed
+}
+
+// percentiles returns the p50/p90/p99 of ns latencies (zeros when empty).
+func percentiles(ns []int64) (p50, p90, p99 time.Duration) {
+	if len(ns) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return time.Duration(sorted[i])
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestBuildWorkloadDeterministic: the same seed replays a byte-identical
+// workload — the property that makes loadgen numbers comparable across runs.
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	cfg := LoadConfig{Seed: 42, Queries: 50}
+	a, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	classes := map[string]int{}
+	for i := range a {
+		if a[i].class != b[i].class || a[i].tenant != b[i].tenant || !bytes.Equal(a[i].body, b[i].body) {
+			t.Fatalf("query %d differs between identically-seeded builds", i)
+		}
+		classes[a[i].class]++
+	}
+	for _, class := range []string{"hot", "ladder", "cold"} {
+		if classes[class] == 0 {
+			t.Fatalf("50-query mix produced no %s queries: %v", class, classes)
+		}
+	}
+	c, err := buildWorkload(LoadConfig{Seed: 43, Queries: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range c {
+		if bytes.Equal(a[i].body, c[i].body) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced the identical workload")
+	}
+}
+
+func TestBuildWorkloadRejectsBadConfig(t *testing.T) {
+	if _, err := buildWorkload(LoadConfig{HotFraction: 0.9, LadderFraction: 0.9}); err == nil {
+		t.Fatal("fractions summing past 1 accepted")
+	}
+	if _, err := buildWorkload(LoadConfig{Cases: []string{"no-such-system"}}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Fatal("RunLoad without a BaseURL accepted")
+	}
+}
+
+// TestRunLoadSmoke replays a small seeded mixed workload against a live
+// server and checks the report's internal consistency — the same path the
+// cmd/loadgen CLI and the serve benchmark drive at full scale.
+func TestRunLoadSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{JournalDir: t.TempDir(), Workers: 4})
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:      ts.URL,
+		Queries:      120,
+		Concurrency:  6,
+		Seed:         7,
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 120 {
+		t.Fatalf("queries %d, want 120", rep.Queries)
+	}
+	if rep.Completed+rep.Failed+rep.RateLimited != rep.Queries {
+		t.Fatalf("outcomes do not partition the workload: %+v", rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d queries failed against a healthy server", rep.Failed)
+	}
+	if rep.CacheHits == 0 || rep.CacheRate <= 0 {
+		t.Fatalf("hot-heavy mix produced no cache hits: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.Wall <= 0 {
+		t.Fatalf("throughput not measured: qps=%v wall=%v", rep.QPS, rep.Wall)
+	}
+	if rep.P50 <= 0 || rep.P50 > rep.P90 || rep.P90 > rep.P99 {
+		t.Fatalf("latency percentiles not ordered: p50=%v p90=%v p99=%v", rep.P50, rep.P90, rep.P99)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("expected hot/ladder/cold class stats, got %d", len(rep.Classes))
+	}
+	var totalByClass, hitsByClass int
+	for _, cs := range rep.Classes {
+		totalByClass += cs.Completed
+		hitsByClass += cs.CacheHits
+		if cs.Completed > 0 && (cs.P50 <= 0 || cs.P99 < cs.P50) {
+			t.Fatalf("class %s percentiles: %+v", cs.Class, cs)
+		}
+	}
+	if totalByClass != rep.Completed || hitsByClass != rep.CacheHits {
+		t.Fatalf("class totals (%d, %d) disagree with report (%d, %d)",
+			totalByClass, hitsByClass, rep.Completed, rep.CacheHits)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p50, p90, p99 := percentiles(nil)
+	if p50 != 0 || p90 != 0 || p99 != 0 {
+		t.Fatal("empty percentiles nonzero")
+	}
+	ns := make([]int64, 100)
+	for i := range ns {
+		ns[i] = int64(100 - i) // reverse order: percentiles must sort
+	}
+	p50, p90, p99 = percentiles(ns)
+	if p50 != 50 || p90 != 90 || p99 != 99 {
+		t.Fatalf("p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestStatusEndpointAndAnonymousTenant: GET /v1/jobs/{id} snapshots the job,
+// and a request without X-Tenant runs as the anonymous tenant.
+func TestStatusEndpointAndAnonymousTenant(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := jobBody(t, JobRequest{Input: caseInputText(t, "paper5", 1, 3)})
+	sub, code := submit(t, ts.URL, "", body) // no tenant header
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("anonymous submit: %d", code)
+	}
+	waitDone(t, ts.URL, sub.JobID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != sub.JobID || st.State != JobDone || st.Tenant != "anonymous" {
+		t.Fatalf("status: %+v", st)
+	}
+	if _, ok := s.Tenants().Stats()["anonymous"]; !ok {
+		t.Fatal("anonymous tenant not tracked")
+	}
+}
+
+// TestQueuedJobCompletesFromCache: a job that waits in the queue while an
+// identical key is answered (here: the cache is populated under it) must
+// complete from the cache without solving.
+func TestQueuedJobCompletesFromCache(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	blockerBody := jobBody(t, JobRequest{Input: caseInputText(t, "paper5", 1, 3)})
+	blocked, err := ParseJobRequest(blockerBody, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimBody := jobBody(t, JobRequest{Input: caseInputText(t, "ieee14", 1, 3)})
+	victim, err := ParseJobRequest(victimBody, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release := make(chan struct{})
+	setTestJobHook(func(j *Job) {
+		if j.ID == blocked.Key {
+			<-release
+		}
+	})
+	t.Cleanup(func() { setTestJobHook(nil) })
+
+	if _, err := s.Submit(blocked, "a", blockerBody); err != nil {
+		t.Fatal(err)
+	}
+	vjob, err := s.Submit(victim, "a", victimBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the single worker is blocked, the victim's key gets an answer
+	// (as if recovery reloaded it, or a peer daemon shared the store).
+	canned := &Result{Key: victim.Key, Definitive: true, Rungs: []RungResult{
+		{TargetPercent: 3, BaselineCost: 1, Threshold: 1.03, Exhausted: true},
+	}}
+	if !s.Cache().Put(victim.Key, canned) {
+		t.Fatal("cache refused the canned definitive result")
+	}
+	close(release)
+
+	select {
+	case <-vjob.Done():
+	case <-time.After(time.Minute):
+		t.Fatal("victim job never finished")
+	}
+	st := vjob.Status()
+	if st.State != JobDone || !st.Cached {
+		t.Fatalf("victim state=%s cached=%v, want done from cache", st.State, st.Cached)
+	}
+	res, _ := vjob.Result()
+	if res != canned {
+		t.Fatal("victim solved instead of taking the cached result")
+	}
+}
+
+// TestJobTablePruning: with the retention bound lowered, terminal jobs are
+// pruned oldest-first while their verdicts stay reachable through the cache.
+func TestJobTablePruning(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	s.maxJobs = 4
+
+	var ids []string
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6} {
+		body := jobBody(t, JobRequest{Input: caseInputText(t, "paper5", seed, 3)})
+		sub, code := submit(t, ts.URL, "a", body)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("seed %d: %d", seed, code)
+		}
+		waitDone(t, ts.URL, sub.JobID)
+		ids = append(ids, sub.JobID)
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("job table holds %d entries past the bound of 4", n)
+	}
+	// A pruned job's verdict is still served — as a cache hit on resubmit.
+	body := jobBody(t, JobRequest{Input: caseInputText(t, "paper5", 1, 3)})
+	sub, code := submit(t, ts.URL, "a", body)
+	if code != http.StatusOK || !sub.Cached {
+		t.Fatalf("pruned key resubmit: status %d cached=%v", code, sub.Cached)
+	}
+	if sub.JobID != ids[0] {
+		t.Fatalf("resubmit addressed %s, want %s", sub.JobID, ids[0])
+	}
+}
+
+// TestEventLogAppendAfterClose: appends to a closed log are dropped (a late
+// journal replay after a failure races no one).
+func TestEventLogAppendAfterClose(t *testing.T) {
+	log := newEventLog()
+	log.append("queued", nil)
+	log.closeLog()
+	log.closeLog() // idempotent
+	log.append("iter", nil)
+	evs, closed, _ := log.next(0)
+	if !closed || len(evs) != 1 {
+		t.Fatalf("closed=%v events=%d, want closed with the single pre-close event", closed, len(evs))
+	}
+	// Marshal failure degrades to an error payload, not a panic.
+	log2 := newEventLog()
+	log2.append("iter", map[string]any{"bad": func() {}})
+	evs, _, _ = log2.next(0)
+	if len(evs) != 1 || !json.Valid(evs[0].Data) {
+		t.Fatalf("unmarshalable payload not degraded: %+v", evs)
+	}
+}
+
+// TestJobResultBeforeDone: Result is nil-false until the job completes, and
+// double queue close is idempotent.
+func TestJobResultBeforeDone(t *testing.T) {
+	job := newJob(&ParsedJob{Key: "k"}, "a", Tier{})
+	if res, ok := job.Result(); ok || res != nil {
+		t.Fatal("queued job reported a result")
+	}
+	q := newQueue(1, 1, func(*Job) {})
+	q.close()
+	q.close()
+}
